@@ -1,0 +1,158 @@
+#include "common.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mntp::bench {
+
+namespace {
+
+double minutes_at(core::TimePoint t) { return t.to_seconds() / 60.0; }
+
+}  // namespace
+
+SntpRun run_sntp_experiment(const ntp::TestbedConfig& config,
+                            core::Duration span, core::Duration poll) {
+  ntp::Testbed bed(config);
+  ntp::SntpClientPolicy policy;
+  policy.poll_interval = poll;
+  ntp::SntpClient client(bed.sim(), bed.target_clock(), bed.pool(),
+                         bed.last_hop_up(), bed.last_hop_down(), policy);
+  SntpRun run;
+  client.set_on_sample([&](const ntp::SntpSample& s) {
+    run.series.emplace_back(minutes_at(s.completed_at), s.offset.to_millis());
+  });
+  bed.start();
+  client.start();
+  bed.sim().run_until(core::TimePoint::epoch() + span);
+  run.offsets_ms = client.offsets_ms();
+  run.polls = client.polls();
+  run.failures = client.failures();
+  run.final_clock_offset_ms = bed.true_clock_offset_ms();
+  return run;
+}
+
+void split_engine_records(const protocol::MntpEngine& engine, Series* accepted,
+                          Series* rejected, Series* corrected) {
+  for (const auto& r : engine.records()) {
+    const double t_min = minutes_at(r.t);
+    const bool ok = r.outcome == protocol::SampleOutcome::kAcceptedWarmup ||
+                    r.outcome == protocol::SampleOutcome::kAcceptedRegular;
+    if (ok) {
+      if (accepted) accepted->emplace_back(t_min, r.offset_s * 1e3);
+      if (corrected && !r.bootstrap) {
+        corrected->emplace_back(t_min, r.corrected_s * 1e3);
+      }
+    } else if (rejected) {
+      rejected->emplace_back(t_min, r.offset_s * 1e3);
+    }
+  }
+}
+
+MntpRun run_mntp_experiment(const ntp::TestbedConfig& config,
+                            const protocol::MntpParams& params,
+                            core::Duration span) {
+  ntp::Testbed bed(config);
+  protocol::MntpClient client(bed.sim(), bed.target_clock(), bed.pool(),
+                              bed.channel(), params, bed.fork_rng());
+  bed.start();
+  client.start();
+  bed.sim().run_until(core::TimePoint::epoch() + span);
+
+  MntpRun run;
+  split_engine_records(client.engine(), &run.accepted, &run.rejected,
+                       &run.corrected);
+  run.accepted_ms = client.engine().accepted_offsets_ms();
+  run.rejected_ms = client.engine().rejected_offsets_ms();
+  run.corrected_ms = client.engine().corrected_offsets_ms();
+  run.deferrals = client.engine().deferrals();
+  run.requests = client.requests_sent();
+  if (const auto d = client.engine().drift_s_per_s()) {
+    run.drift_ppm = *d * 1e6;
+    run.has_drift = true;
+  }
+  run.final_clock_offset_ms = bed.true_clock_offset_ms();
+  run.hints = client.hint_log();
+  return run;
+}
+
+HeadToHead run_head_to_head(const ntp::TestbedConfig& config,
+                            const protocol::MntpParams& params,
+                            core::Duration span, core::Duration sntp_poll) {
+  ntp::Testbed bed(config);
+  ntp::SntpClientPolicy policy;
+  policy.poll_interval = sntp_poll;
+  ntp::SntpClient sntp(bed.sim(), bed.target_clock(), bed.pool(),
+                       bed.last_hop_up(), bed.last_hop_down(), policy);
+  protocol::MntpClient mntp_client(bed.sim(), bed.target_clock(), bed.pool(),
+                                   bed.channel(), params, bed.fork_rng());
+
+  HeadToHead result;
+  sntp.set_on_sample([&](const ntp::SntpSample& s) {
+    result.sntp.series.emplace_back(minutes_at(s.completed_at),
+                                    s.offset.to_millis());
+  });
+  bed.start();
+  sntp.start();
+  mntp_client.start();
+  bed.sim().run_until(core::TimePoint::epoch() + span);
+
+  result.sntp.offsets_ms = sntp.offsets_ms();
+  result.sntp.polls = sntp.polls();
+  result.sntp.failures = sntp.failures();
+  result.sntp.final_clock_offset_ms = bed.true_clock_offset_ms();
+
+  split_engine_records(mntp_client.engine(), &result.mntp.accepted,
+                       &result.mntp.rejected, &result.mntp.corrected);
+  result.mntp.accepted_ms = mntp_client.engine().accepted_offsets_ms();
+  result.mntp.rejected_ms = mntp_client.engine().rejected_offsets_ms();
+  result.mntp.corrected_ms = mntp_client.engine().corrected_offsets_ms();
+  result.mntp.deferrals = mntp_client.engine().deferrals();
+  result.mntp.requests = mntp_client.requests_sent();
+  if (const auto d = mntp_client.engine().drift_s_per_s()) {
+    result.mntp.drift_ppm = *d * 1e6;
+    result.mntp.has_drift = true;
+  }
+  result.mntp.final_clock_offset_ms = bed.true_clock_offset_ms();
+  result.mntp.hints = mntp_client.hint_log();
+  return result;
+}
+
+void print_offset_summary(const std::string& label,
+                          const std::vector<double>& offsets_ms) {
+  const core::Summary s = core::summarize(offsets_ms);
+  std::printf(
+      "  %-34s n=%-5zu mean %+8.2f ms  sd %8.2f  med %+7.2f  max|.| %8.2f\n",
+      label.c_str(), s.count, s.mean, s.stddev, s.median,
+      core::max_abs(offsets_ms));
+}
+
+void plot_offsets(const std::string& title,
+                  const std::vector<core::Series>& series) {
+  std::printf("%s\n", core::ascii_plot(series, 78, 18, title).c_str());
+}
+
+void Checks::expect(bool condition, const std::string& description) {
+  entries_.push_back({condition, description});
+}
+
+void Checks::expect_near(double value, double target, double tolerance,
+                         const std::string& description) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s (measured %.2f, paper ~%.2f, tol %.2f)",
+                description.c_str(), value, target, tolerance);
+  entries_.push_back({std::fabs(value - target) <= tolerance, buf});
+}
+
+int Checks::finish(const std::string& experiment_name) const {
+  int failures = 0;
+  std::printf("\n-- shape checks: %s --\n", experiment_name.c_str());
+  for (const auto& e : entries_) {
+    std::printf("  [%s] %s\n", e.pass ? "PASS" : "FAIL", e.text.c_str());
+    if (!e.pass) ++failures;
+  }
+  std::printf("  %zu checks, %d failed\n", entries_.size(), failures);
+  return failures;
+}
+
+}  // namespace mntp::bench

@@ -1,0 +1,109 @@
+// Shared experiment harness for the bench binaries.
+//
+// Every bench regenerates one table or figure from the paper: it builds
+// the corresponding workload on the Testbed (or cellular/log substrate),
+// runs it, prints the same rows/series the paper reports (as aligned
+// tables and ASCII plots), and finishes with explicit PASS/FAIL checks of
+// the paper's qualitative claims. Absolute numbers come from a simulator,
+// so checks assert the *shape*: who wins, by roughly what factor, where
+// the spikes are.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/table.h"
+#include "core/time.h"
+#include "mntp/mntp_client.h"
+#include "mntp/params.h"
+#include "ntp/sntp_client.h"
+#include "ntp/testbed.h"
+
+namespace mntp::bench {
+
+/// (minutes since start, offset in ms) series of one client run.
+using Series = std::vector<std::pair<double, double>>;
+
+struct SntpRun {
+  Series series;
+  std::vector<double> offsets_ms;
+  std::size_t polls = 0;
+  std::size_t failures = 0;
+  /// True clock offset at the end of the run (oracle), ms.
+  double final_clock_offset_ms = 0.0;
+};
+
+/// Run a plain SNTP client on a fresh testbed for `span`, polling every
+/// `poll` (the paper's lab cadence is 5 s).
+SntpRun run_sntp_experiment(const ntp::TestbedConfig& config,
+                            core::Duration span,
+                            core::Duration poll = core::Duration::seconds(5));
+
+struct MntpRun {
+  Series accepted;
+  Series rejected;
+  /// Residuals against the drift trend ("clock corrected" series, Fig 12).
+  Series corrected;
+  std::vector<double> accepted_ms;
+  std::vector<double> rejected_ms;
+  std::vector<double> corrected_ms;
+  std::size_t deferrals = 0;
+  std::size_t requests = 0;
+  double drift_ppm = 0.0;
+  bool has_drift = false;
+  double final_clock_offset_ms = 0.0;
+  /// Hint log copied out for the signals plot (Fig 7).
+  std::vector<protocol::HintRecord> hints;
+};
+
+/// Run an MNTP client on a fresh testbed for `span`.
+MntpRun run_mntp_experiment(const ntp::TestbedConfig& config,
+                            const protocol::MntpParams& params,
+                            core::Duration span);
+
+/// Run SNTP and MNTP *side by side on the same testbed* (same channel
+/// realization, same servers) — the paper's head-to-head methodology.
+struct HeadToHead {
+  SntpRun sntp;
+  MntpRun mntp;
+};
+HeadToHead run_head_to_head(const ntp::TestbedConfig& config,
+                            const protocol::MntpParams& params,
+                            core::Duration span,
+                            core::Duration sntp_poll = core::Duration::seconds(5));
+
+/// Print a labeled offset summary row.
+void print_offset_summary(const std::string& label,
+                          const std::vector<double>& offsets_ms);
+
+/// Plot one or two offset series (x in minutes, y in ms).
+void plot_offsets(const std::string& title,
+                  const std::vector<core::Series>& series);
+
+/// PASS/FAIL check accumulation. Checks never abort; the bench prints a
+/// verdict block at the end and returns the number of failed checks as
+/// its exit code (0 = all shape checks hold).
+class Checks {
+ public:
+  void expect(bool condition, const std::string& description);
+  /// expect with a formatted "measured vs target" tail.
+  void expect_near(double value, double target, double tolerance,
+                   const std::string& description);
+  /// Print the verdict block; returns the failure count.
+  int finish(const std::string& experiment_name) const;
+
+ private:
+  struct Entry {
+    bool pass;
+    std::string text;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Convert an engine record list into bench series (minutes, ms).
+void split_engine_records(const protocol::MntpEngine& engine, Series* accepted,
+                          Series* rejected, Series* corrected);
+
+}  // namespace mntp::bench

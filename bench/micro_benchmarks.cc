@@ -1,0 +1,199 @@
+// Microbenchmarks (google-benchmark): the hot paths a deployed MNTP/SNTP
+// implementation exercises per packet/sample, plus simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/linreg.h"
+#include "core/rng.h"
+#include "mntp/drift_filter.h"
+#include "mntp/engine.h"
+#include "mntp/trace.h"
+#include "mntp/tuner.h"
+#include "logs/generate.h"
+#include "net/wireless_channel.h"
+#include "ntp/clock_filter.h"
+#include "ntp/packet.h"
+#include "ntp/selection.h"
+#include "ntp/testbed.h"
+
+using namespace mntp;
+
+namespace {
+
+void BM_PacketSerialize(benchmark::State& state) {
+  ntp::NtpPacket p = ntp::NtpPacket::make_sntp_request(
+      core::NtpTimestamp::from_parts(123456, 789));
+  std::array<std::uint8_t, ntp::NtpPacket::kWireSize> buf{};
+  for (auto _ : state) {
+    p.serialize(buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_PacketSerialize);
+
+void BM_PacketParse(benchmark::State& state) {
+  const auto wire = ntp::NtpPacket::make_sntp_request(
+                        core::NtpTimestamp::from_parts(123456, 789))
+                        .to_bytes();
+  for (auto _ : state) {
+    auto parsed = ntp::NtpPacket::parse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_ClockFilterUpdate(benchmark::State& state) {
+  ntp::ClockFilter filter;
+  core::Rng rng(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 1'000'000'000;
+    auto est = filter.update(core::Duration::from_millis(rng.normal(0, 5)),
+                             core::Duration::from_millis(rng.uniform(20, 80)),
+                             core::TimePoint::from_ns(t));
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_ClockFilterUpdate);
+
+void BM_SelectionPipeline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(2);
+  std::vector<ntp::PeerEstimate> peers;
+  for (std::size_t i = 0; i < n; ++i) {
+    ntp::PeerEstimate e;
+    e.offset = core::Duration::from_millis(rng.normal(0, 3));
+    e.delay = core::Duration::from_millis(rng.uniform(20, 80));
+    e.dispersion = core::Duration::from_millis(2);
+    e.jitter_s = 1e-3;
+    peers.push_back(e);
+  }
+  for (auto _ : state) {
+    auto chimers = ntp::select_truechimers(peers);
+    if (!chimers.empty()) {
+      chimers = ntp::cluster_survivors(peers, std::move(chimers), {});
+      auto combined = ntp::combine_offsets(peers, chimers);
+      benchmark::DoNotOptimize(combined);
+    }
+  }
+}
+BENCHMARK(BM_SelectionPipeline)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_DriftFilterOffer(benchmark::State& state) {
+  protocol::DriftFilter filter({.bootstrap_samples = 10, .max_samples = 512});
+  core::Rng rng(3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 5'000'000'000;
+    auto d = filter.offer(core::TimePoint::from_ns(t), rng.normal(0, 0.002));
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DriftFilterOffer);
+
+void BM_IncrementalLinReg(benchmark::State& state) {
+  core::IncrementalLinReg reg;
+  core::Rng rng(4);
+  double x = 0;
+  for (auto _ : state) {
+    x += 1.0;
+    reg.add(x, 2.0 * x + rng.normal(0, 0.1));
+    auto fit = reg.fit();
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_IncrementalLinReg);
+
+void BM_WirelessChannelTransmit(benchmark::State& state) {
+  net::WirelessChannel channel(net::WirelessChannelParams{}, core::Rng(5));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 100'000'000;  // 100 ms apart
+    auto r = channel.transmit_dir(core::TimePoint::from_ns(t), 76, true);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WirelessChannelTransmit);
+
+void BM_EngineRound(benchmark::State& state) {
+  protocol::MntpEngine engine(protocol::head_to_head_params(),
+                              core::TimePoint::epoch());
+  core::Rng rng(6);
+  std::int64_t t = 0;
+  std::vector<double> offsets(1);
+  for (auto _ : state) {
+    t += 5'000'000'000;
+    offsets[0] = rng.normal(0, 0.003);
+    auto r = engine.on_round(core::TimePoint::from_ns(t), offsets);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineRound);
+
+void BM_TraceCsvRoundTrip(benchmark::State& state) {
+  // The tuner's interchange path: serialize + reparse a 1-hour trace.
+  protocol::Trace trace;
+  core::Rng rng(8);
+  for (int i = 0; i < 720; ++i) {
+    protocol::TraceRecord r;
+    r.t_s = i * 5.0;
+    r.rssi_dbm = rng.uniform(-80, -55);
+    r.noise_dbm = rng.uniform(-95, -70);
+    r.offsets_s = {rng.normal(0, 0.01), rng.normal(0, 0.01), rng.normal(0, 0.01)};
+    trace.records.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    const std::string csv = trace.to_csv();
+    auto parsed = protocol::Trace::from_csv(csv);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_TraceCsvRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_TunerEmulate(benchmark::State& state) {
+  protocol::Trace trace;
+  core::Rng rng(9);
+  for (int i = 0; i < 2880; ++i) {  // 4 hours at 5 s
+    protocol::TraceRecord r;
+    r.t_s = i * 5.0;
+    r.rssi_dbm = rng.uniform(-80, -55);
+    r.noise_dbm = rng.uniform(-95, -70);
+    r.offsets_s = {rng.normal(0, 0.01)};
+    trace.records.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    auto result = protocol::tuner::emulate(trace, protocol::MntpParams{});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TunerEmulate)->Unit(benchmark::kMicrosecond);
+
+void BM_LogGeneration(benchmark::State& state) {
+  // One mid-size server (JW2, ~36k clients at 1:100) per iteration.
+  for (auto _ : state) {
+    logs::LogGenerator gen({.scale = 1.0 / 100.0}, core::Rng(10));
+    auto log = gen.generate(8);
+    benchmark::DoNotOptimize(log.clients.size());
+  }
+}
+BENCHMARK(BM_LogGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_TestbedMinuteOfSimulation(benchmark::State& state) {
+  // Wall-clock cost of simulating one minute of the full wireless
+  // testbed with interference machinery running.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ntp::TestbedConfig config;
+    config.seed = 7;
+    config.wireless = true;
+    ntp::Testbed bed(config);
+    bed.start();
+    state.ResumeTiming();
+    bed.sim().run_until(core::TimePoint::epoch() + core::Duration::minutes(1));
+    benchmark::DoNotOptimize(bed.sim().events_executed());
+  }
+}
+BENCHMARK(BM_TestbedMinuteOfSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Vendor sync-policy comparison: how far do commodity mobile clocks
+// actually wander? (§2's motivation, quantified.)
+//
+// Runs the same phone-grade oscillator on the same 4G network for three
+// days under four regimes — Android defaults (daily SNTP, 5 s update
+// threshold, NITZ), Android without NITZ, Windows Mobile (weekly, no
+// retries), and MNTP-grade 5 s lab polling — and prints the resulting
+// true clock error trajectories.
+#include <cstdio>
+
+#include "core/stats.h"
+#include "device/device_sim.h"
+
+using namespace mntp;
+
+namespace {
+
+void report(const device::DeviceSimResult& r) {
+  std::printf("\n-- %s --\n", r.policy_name.c_str());
+  std::printf("  polls %zu (failures %zu), clock updates %zu, NITZ fixes %zu\n",
+              r.sntp_polls, r.sntp_failures, r.clock_updates, r.nitz_fixes);
+  std::printf("  |clock error|: mean %.1f ms, max %.1f ms\n",
+              r.mean_abs_offset_ms, r.max_abs_offset_ms);
+  // Sparse trajectory print-out: every ~12 h.
+  std::printf("  trajectory (hours: error ms):");
+  for (std::size_t i = 0; i < r.offset_series.size(); i += 24) {
+    std::printf(" %0.0fh:%+0.0f", r.offset_series[i].first / 3600.0,
+                r.offset_series[i].second);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto span = core::Duration::hours(72);
+
+  device::DeviceSimConfig android;
+  android.seed = 99;
+  android.policy = device::android_policy();
+  report(device::run_device_simulation(android, span));
+
+  device::DeviceSimConfig android_no_nitz = android;
+  android_no_nitz.policy.name = "android (NITZ unavailable)";
+  android_no_nitz.policy.use_nitz = false;
+  report(device::run_device_simulation(android_no_nitz, span));
+
+  device::DeviceSimConfig windows = android;
+  windows.policy = device::windows_mobile_policy();
+  report(device::run_device_simulation(windows, span));
+
+  device::DeviceSimConfig lab = android;
+  lab.policy = device::lab_policy();
+  lab.policy.name = "lab 5s polling (reporting only)";
+  report(device::run_device_simulation(lab, span));
+
+  std::printf("\nTakeaway: vendor policies leave commodity devices hundreds of\n"
+              "milliseconds to seconds off true time — the gap MNTP closes\n"
+              "without resorting to continuous polling.\n");
+  return 0;
+}

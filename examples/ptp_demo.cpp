@@ -1,0 +1,66 @@
+// PTP demo: synchronize a LAN slave to a grandmaster with IEEE 1588
+// two-step exchanges, and watch the servo converge from a cold start.
+//
+// Shows the third protocol family of the paper's background (§2) working
+// end to end: Sync/Follow_Up/Delay_Req/Delay_Resp on the wire, the PI
+// servo stepping then slewing, and the difference hardware-grade
+// timestamping makes.
+#include <cstdio>
+
+#include "core/stats.h"
+#include "net/wired_link.h"
+#include "ptp/ptp_nodes.h"
+#include "sim/simulation.h"
+
+using namespace mntp;
+
+namespace {
+
+void run(const char* label, double timestamp_noise_s) {
+  core::Rng rng(90);
+  sim::Simulation sim;
+  // Slave boots 80 ms off with a 25 ppm crystal.
+  sim::DisciplinedClock clock(
+      sim::OscillatorParams{.initial_offset_s = 0.08, .constant_skew_ppm = 25.0},
+      rng.fork());
+  net::WiredLink m2s(net::WiredLinkParams::lan(), rng.fork());
+  net::WiredLink s2m(net::WiredLinkParams::lan(), rng.fork());
+  ptp::PtpMaster master(
+      sim, ptp::PtpMasterParams{.timestamp_noise_s = timestamp_noise_s},
+      rng.fork());
+  ptp::PtpSlave slave(
+      sim, clock, ptp::PtpSlaveParams{.timestamp_noise_s = timestamp_noise_s, .servo = {}},
+      rng.fork());
+  master.attach(slave, net::LinkPath({&m2s}), net::LinkPath({&s2m}));
+  master.start();
+
+  std::printf("\n-- %s --\n", label);
+  std::printf("  t      | slave clock error | exchanges | servo freq\n");
+  for (double t : {1.0, 5.0, 15.0, 60.0, 300.0, 900.0}) {
+    sim.run_until(core::TimePoint::epoch() + core::Duration::from_seconds(t));
+    const double err = clock.offset_at(sim.now());
+    std::printf("  %5.0fs | %+13.3f us | %9zu | %+7.2f ppm\n", t, err * 1e6,
+                slave.exchanges_completed(), slave.servo().frequency_ppm());
+  }
+
+  // Steady state over the next 5 minutes.
+  core::RunningStats steady;
+  for (int i = 0; i < 300; ++i) {
+    sim.run_until(core::TimePoint::epoch() + core::Duration::seconds(900 + i));
+    steady.add(std::abs(clock.offset_at(sim.now())) * 1e6);
+  }
+  std::printf("  steady state |error|: mean %.1f us, max %.1f us "
+              "(servo steps: %zu)\n",
+              steady.mean(), steady.max(), slave.servo().steps());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PTP two-step synchronization on a LAN (1 Hz Sync)\n");
+  run("hardware timestamping (100 ns capture jitter)", 100e-9);
+  run("software timestamping (50 us capture jitter)", 50e-6);
+  std::printf("\nCompare with build/bench/ext_protocol_family for the full\n"
+              "PTP vs NTP vs SNTP accuracy hierarchy.\n");
+  return 0;
+}

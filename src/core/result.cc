@@ -1,0 +1,20 @@
+#include "core/result.h"
+
+namespace mntp::core {
+
+const char* Error::code_name() const {
+  switch (code) {
+    case Code::kInvalidArgument: return "invalid_argument";
+    case Code::kMalformedPacket: return "malformed_packet";
+    case Code::kTimeout: return "timeout";
+    case Code::kPacketLost: return "packet_lost";
+    case Code::kRejected: return "rejected";
+    case Code::kKissOfDeath: return "kiss_of_death";
+    case Code::kUnavailable: return "unavailable";
+    case Code::kNotFound: return "not_found";
+    case Code::kIo: return "io";
+  }
+  return "unknown";
+}
+
+}  // namespace mntp::core

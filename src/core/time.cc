@@ -1,0 +1,31 @@
+#include "core/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mntp::core {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  const double a = std::fabs(static_cast<double>(ns_));
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fus", static_cast<double>(ns_) * 1e-3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns_) * 1e-6);
+  } else if (a < 60e9) {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(ns_) * 1e-9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fmin", static_cast<double>(ns_) / 60e9);
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.3fs", static_cast<double>(ns_) * 1e-9);
+  return buf;
+}
+
+}  // namespace mntp::core

@@ -1,0 +1,19 @@
+#include "core/units.h"
+
+#include <cstdio>
+
+namespace mntp::core {
+
+std::string Decibels::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fdB", db_);
+  return buf;
+}
+
+std::string Dbm::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fdBm", dbm_);
+  return buf;
+}
+
+}  // namespace mntp::core

@@ -1,0 +1,54 @@
+#include "device/device_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mntp::device {
+
+DeviceSimResult run_device_simulation(const DeviceSimConfig& config,
+                                      core::Duration span) {
+  core::Rng rng(config.seed);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(config.oscillator, rng.fork());
+  net::CellularNetwork cellular(config.cellular, rng.fork());
+  ntp::ServerPool pool(config.pool, rng.fork());
+
+  ntp::SntpClient client(sim, clock, pool, &cellular.uplink(),
+                         &cellular.downlink(), config.policy.sntp);
+  NitzSource nitz(sim, clock, config.nitz, rng.fork());
+
+  DeviceSimResult result;
+  result.policy_name = config.policy.name;
+
+  sim::PeriodicProcess sampler(sim, config.sample_interval, [&] {
+    const double offset_ms = clock.offset_at(sim.now()) * 1e3;
+    result.offset_series.emplace_back(sim.now().to_seconds(), offset_ms);
+  });
+
+  client.start();
+  if (config.policy.use_nitz) nitz.start();
+  sampler.start();
+
+  sim.run_until(core::TimePoint::epoch() + span);
+
+  client.stop();
+  nitz.stop();
+  sampler.stop();
+
+  result.sntp_polls = client.polls();
+  result.sntp_failures = client.failures();
+  result.clock_updates = client.clock_updates();
+  result.nitz_fixes = nitz.fixes_delivered();
+  double acc = 0.0;
+  for (const auto& [t, off] : result.offset_series) {
+    result.max_abs_offset_ms = std::max(result.max_abs_offset_ms, std::fabs(off));
+    acc += std::fabs(off);
+  }
+  if (!result.offset_series.empty()) {
+    result.mean_abs_offset_ms =
+        acc / static_cast<double>(result.offset_series.size());
+  }
+  return result;
+}
+
+}  // namespace mntp::device

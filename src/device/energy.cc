@@ -1,0 +1,66 @@
+#include "device/energy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mntp::device {
+
+EnergyAccountant::EnergyAccountant(RadioEnergyParams params)
+    : params_(params) {}
+
+void EnergyAccountant::on_exchange(core::TimePoint t, std::size_t bytes) {
+  if (window_open_ && t < window_start_) {
+    throw std::logic_error("EnergyAccountant: time moved backwards");
+  }
+  ++exchanges_;
+  bytes_ += bytes;
+  accrued_mj_ += params_.per_byte_mj * static_cast<double>(bytes);
+
+  // The whole radio-on window accrues tail-level power; each exchange
+  // adds the active-over-tail premium on top, so active time is not
+  // double counted.
+  const double active_premium =
+      (params_.active_mw - params_.tail_mw) *
+      params_.active_per_exchange.to_seconds();
+  const core::TimePoint this_end =
+      t + params_.active_per_exchange + params_.tail_time;
+  if (window_open_ && t <= window_end_) {
+    // The radio is still in its tail: no promotion, the window extends.
+    window_end_ = std::max(window_end_, this_end);
+    accrued_mj_ += active_premium;
+  } else {
+    // Close the previous window (its baseline energy) and promote.
+    if (window_open_) {
+      const core::Duration window = window_end_ - window_start_;
+      accrued_mj_ += params_.tail_mw * window.to_seconds();
+      accrued_on_time_ += window;
+    }
+    ++promotions_;
+    accrued_mj_ += params_.promotion_mj + active_premium;
+    window_open_ = true;
+    window_start_ = t;
+    window_end_ = this_end;
+  }
+}
+
+double EnergyAccountant::total_mj(core::TimePoint end) const {
+  double total = accrued_mj_;
+  if (window_open_) {
+    const core::TimePoint upto = std::min(end, window_end_);
+    if (upto > window_start_) {
+      total += params_.tail_mw * (upto - window_start_).to_seconds();
+    }
+  }
+  return total;
+}
+
+core::Duration EnergyAccountant::radio_on_time(core::TimePoint end) const {
+  core::Duration on = accrued_on_time_;
+  if (window_open_) {
+    const core::TimePoint upto = std::min(end, window_end_);
+    if (upto > window_start_) on += upto - window_start_;
+  }
+  return on;
+}
+
+}  // namespace mntp::device

@@ -1,0 +1,38 @@
+#include "device/nitz.h"
+
+namespace mntp::device {
+
+NitzSource::NitzSource(sim::Simulation& sim, sim::DisciplinedClock& clock,
+                       NitzParams params, core::Rng rng)
+    : sim_(sim), clock_(clock), params_(params), rng_(std::move(rng)) {}
+
+void NitzSource::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void NitzSource::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void NitzSource::schedule_next() {
+  const double gap_s =
+      rng_.exponential(params_.mean_crossing_interval.to_seconds());
+  pending_ = sim_.after(core::Duration::from_seconds(gap_s), [this] {
+    if (!running_) return;
+    deliver_fix();
+    schedule_next();
+  });
+}
+
+void NitzSource::deliver_fix() {
+  ++fixes_;
+  // Step the clock to true time plus the NITZ residual error.
+  const double current_offset_s = clock_.offset_at(sim_.now());
+  const double residual_s = rng_.uniform(-params_.fix_error_bound.to_seconds(),
+                                         params_.fix_error_bound.to_seconds());
+  clock_.step(core::Duration::from_seconds(-current_offset_s + residual_s));
+}
+
+}  // namespace mntp::device

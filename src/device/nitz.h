@@ -1,0 +1,51 @@
+// NITZ (Network Identity and Time Zone) time source.
+//
+// §2: NITZ is "a weaker mechanism to obtain time information as the
+// estimates are not obtained in a periodic fashion like NTP and are
+// dependent on the device crossing a network boundary." We model
+// boundary crossings as a Poisson process; each crossing delivers a
+// coarse time fix (NITZ carries whole-second resolution plus network
+// propagation slop), which the device applies as a step.
+#pragma once
+
+#include <cstddef>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "sim/clock_model.h"
+#include "sim/simulation.h"
+
+namespace mntp::device {
+
+struct NitzParams {
+  /// Mean time between network-boundary crossings.
+  core::Duration mean_crossing_interval = core::Duration::hours(36);
+  /// Residual clock error after a NITZ fix (uniform in ±bound) — NITZ
+  /// resolution is seconds, delivery adds network slop.
+  core::Duration fix_error_bound = core::Duration::milliseconds(800);
+};
+
+class NitzSource {
+ public:
+  NitzSource(sim::Simulation& sim, sim::DisciplinedClock& clock,
+             NitzParams params, core::Rng rng);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t fixes_delivered() const { return fixes_; }
+
+ private:
+  void schedule_next();
+  void deliver_fix();
+
+  sim::Simulation& sim_;
+  sim::DisciplinedClock& clock_;
+  NitzParams params_;
+  core::Rng rng_;
+  sim::EventHandle pending_;
+  bool running_ = false;
+  std::size_t fixes_ = 0;
+};
+
+}  // namespace mntp::device

@@ -1,0 +1,67 @@
+// Vendor time-sync policies (paper §2).
+//
+// "Android SNTP implementations poll once a day if data from NITZ are
+// unavailable... performs only three retries upon error and updates the
+// system time only if the estimate differs by more than 5000 ms.
+// Similarly, the Windows Mobile OS updates the system clock once every
+// 7 days. Even if the synchronization request fails, no further retries
+// are sent." These policies are what makes commodity mobile clocks so
+// loosely synchronized; the device simulator quantifies the resulting
+// clock error against the same substrate the other experiments use.
+#pragma once
+
+#include <string>
+
+#include "core/time.h"
+#include "ntp/sntp_client.h"
+
+namespace mntp::device {
+
+struct DevicePolicy {
+  std::string name;
+  ntp::SntpClientPolicy sntp;
+  /// Accept NITZ boundary-crossing updates when they occur.
+  bool use_nitz = false;
+};
+
+/// Android (KitKat-era) defaults.
+[[nodiscard]] inline DevicePolicy android_policy() {
+  return DevicePolicy{
+      .name = "android",
+      .sntp = {.poll_interval = core::Duration::hours(24),
+               .retries = 3,
+               .retry_gap = core::Duration::seconds(5),
+               .update_clock = true,
+               .update_threshold = core::Duration::milliseconds(5000)},
+      .use_nitz = true,
+  };
+}
+
+/// Windows Mobile defaults.
+[[nodiscard]] inline DevicePolicy windows_mobile_policy() {
+  return DevicePolicy{
+      .name = "windows-mobile",
+      .sntp = {.poll_interval = core::Duration::hours(24 * 7),
+               .retries = 0,
+               .retry_gap = core::Duration::seconds(5),
+               .update_clock = true,
+               .update_threshold = core::Duration::zero()},
+      .use_nitz = false,
+  };
+}
+
+/// The lab cadence used throughout §5: poll every 5 seconds, no clock
+/// update (offsets are reported, not applied).
+[[nodiscard]] inline DevicePolicy lab_policy() {
+  return DevicePolicy{
+      .name = "lab-5s",
+      .sntp = {.poll_interval = core::Duration::seconds(5),
+               .retries = 0,
+               .retry_gap = core::Duration::seconds(1),
+               .update_clock = false,
+               .update_threshold = core::Duration::zero()},
+      .use_nitz = false,
+  };
+}
+
+}  // namespace mntp::device

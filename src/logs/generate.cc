@@ -1,0 +1,130 @@
+#include "logs/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ntp_timestamp.h"
+
+namespace mntp::logs {
+
+LogGenerator::LogGenerator(GeneratorParams params, core::Rng rng)
+    : params_(params), rng_(std::move(rng)) {}
+
+std::size_t LogGenerator::pick_provider(const ServerSpec& server) {
+  // ISP-internal servers serve their own infrastructure: bias towards
+  // ISP-category providers. Public servers draw from the full weighted
+  // provider mix.
+  double total = 0.0;
+  for (const ProviderSpec& p : kPaperProviders) {
+    total += server.isp_internal && p.category != ProviderCategory::kIsp
+                 ? p.client_weight * 0.05
+                 : p.client_weight;
+  }
+  double draw = rng_.uniform(0.0, total);
+  for (std::size_t i = 0; i < kPaperProviders.size(); ++i) {
+    const ProviderSpec& p = kPaperProviders[i];
+    const double w = server.isp_internal && p.category != ProviderCategory::kIsp
+                         ? p.client_weight * 0.05
+                         : p.client_weight;
+    if (draw < w) return i;
+    draw -= w;
+  }
+  return kPaperProviders.size() - 1;
+}
+
+ClientRecord LogGenerator::make_client(const ServerSpec& server,
+                                       std::uint64_t id,
+                                       double requests_per_client) {
+  ClientRecord c;
+  c.client_id = id;
+  c.provider_index = pick_provider(server);
+  const ProviderSpec& provider = kPaperProviders[c.provider_index];
+  c.hostname = "host" + std::to_string(id) + "." +
+               std::string(provider.keyword) + ".example.org";
+
+  // Protocol: a client is SNTP with the provider's probability. The
+  // *packet* carries the classification: SNTP requests zero everything
+  // but the first octet + transmit time; NTP requests populate poll,
+  // precision and origin.
+  // ISP-internal servers mostly serve the operator's own infrastructure
+  // (routers running ntpd), so their protocol mix is NTP-heavy regardless
+  // of the provider's consumer-population SNTP share.
+  const double sntp_fraction =
+      server.isp_internal ? provider.sntp_fraction * 0.25 : provider.sntp_fraction;
+  const bool sntp = rng_.bernoulli(sntp_fraction);
+  const auto xmt = core::NtpTimestamp::from_parts(
+      static_cast<std::uint32_t>(core::kSimEpochNtpSeconds +
+                                 rng_.uniform_int(0, 86'400)),
+      static_cast<std::uint32_t>(rng_.next_u64()));
+  ntp::NtpPacket req =
+      sntp ? ntp::NtpPacket::make_sntp_request(xmt)
+           : ntp::NtpPacket::make_ntp_request(
+                 xmt, static_cast<std::int8_t>(rng_.uniform_int(6, 10)),
+                 core::NtpTimestamp::from_parts(1, 1));
+  req.serialize(c.request_wire);
+
+  // Request volume: heavy-tailed around the server's requests/client
+  // ratio (a few chatty ntpd instances dominate measurement counts).
+  const double lam = std::max(1.0, requests_per_client);
+  c.request_count = static_cast<std::uint32_t>(
+      std::max(1.0, rng_.lognormal(std::log(lam) - 0.5, 1.0)));
+
+  // Per-client minimum OWD structure (Fig 1): lognormal around the
+  // provider median for fixed-line categories; wide near-uniform spread
+  // for mobile providers (their CDF is the paper's "linear trend").
+  double base_ms;
+  if (provider.category == ProviderCategory::kMobile) {
+    base_ms = rng_.uniform(0.35 * provider.min_owd_median_ms,
+                           1.75 * provider.min_owd_median_ms);
+  } else {
+    base_ms = rng_.lognormal(std::log(provider.min_owd_median_ms),
+                             provider.min_owd_sigma);
+  }
+  base_ms = std::clamp(base_ms, 1.0, 997.0);  // observed OWD range (§1)
+
+  const std::size_t samples = std::min<std::size_t>(
+      params_.max_owd_samples, std::max<std::uint32_t>(1, c.request_count));
+  c.owd_samples_ms.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (rng_.bernoulli(params_.unsynchronized_fraction)) {
+      // Unsynchronized probe: OWD meaningless; mark invalid.
+      c.owd_samples_ms.push_back(-1.0F);
+      continue;
+    }
+    const double jitter_factor =
+        provider.category == ProviderCategory::kMobile
+            ? rng_.pareto(1.0, 2.2)   // bursty cellular queueing
+            : rng_.pareto(1.0, 4.0);  // light wireline inflation
+    c.owd_samples_ms.push_back(
+        static_cast<float>(std::min(base_ms * jitter_factor, 3000.0)));
+  }
+  return c;
+}
+
+ServerLog LogGenerator::generate(std::size_t server_index) {
+  const ServerSpec& spec = kPaperServers.at(server_index);
+  ServerLog log{.spec = spec, .clients = {}};
+  const auto n_clients = static_cast<std::size_t>(std::max(
+      1.0, std::round(static_cast<double>(spec.unique_clients) * params_.scale)));
+  const double requests_per_client =
+      static_cast<double>(spec.total_measurements) /
+      static_cast<double>(spec.unique_clients);
+  log.clients.reserve(n_clients);
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    log.clients.push_back(make_client(
+        spec, (static_cast<std::uint64_t>(server_index) << 32) | i,
+        requests_per_client));
+  }
+  return log;
+}
+
+std::vector<ServerLog> LogGenerator::generate_all() {
+  std::vector<ServerLog> out;
+  out.reserve(kPaperServers.size());
+  for (std::size_t i = 0; i < kPaperServers.size(); ++i) {
+    out.push_back(generate(i));
+  }
+  return out;
+}
+
+}  // namespace mntp::logs

@@ -1,0 +1,136 @@
+#include "mntp/drift_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mntp::protocol {
+
+DriftFilter::DriftFilter(DriftFilterConfig config) : config_(config) {
+  if (config_.bootstrap_samples < 2) config_.bootstrap_samples = 2;
+}
+
+void DriftFilter::reset() {
+  samples_.clear();
+  fit_.reset();
+  rejected_ = 0;
+  bootstrap_done_ = false;
+}
+
+void DriftFilter::refit() {
+  std::vector<double> xs, ys;
+  xs.reserve(samples_.size());
+  ys.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    xs.push_back(s.t_s);
+    ys.push_back(s.offset_s);
+  }
+  fit_ = core::least_squares(xs, ys);
+}
+
+FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
+  FilterDecision d;
+  const double ts = time_axis(t);
+
+  if (bootstrapping()) {
+    d.accepted = true;
+    d.bootstrap = true;
+    if (fit_) {
+      d.predicted_s = fit_->predict(ts);
+      d.residual_s = offset_s - d.predicted_s;
+    }
+    samples_.push_back({ts, offset_s});
+    refit();
+    if (samples_.size() >= config_.bootstrap_samples) {
+      bootstrap_done_ = true;
+      // Bootstrap complete: drop the outliers that slipped in unguarded
+      // before they poison the trend the regular gate judges against.
+      prune_and_refit();
+    }
+    return d;
+  }
+
+  // Squared error of the new sample against the extrapolated trend,
+  // judged against the distribution of the accepted samples' squared
+  // residuals (mean + 1 sd gate, per the paper).
+  if (!fit_) refit();
+  if (fit_) {
+    d.predicted_s = fit_->predict(ts);
+    d.residual_s = offset_s - d.predicted_s;
+    // Mean + sd of squared residuals over the recent window only.
+    const std::size_t begin =
+        config_.stats_window > 0 && samples_.size() > config_.stats_window
+            ? samples_.size() - config_.stats_window
+            : 0;
+    const auto window_n = static_cast<double>(samples_.size() - begin);
+    double mean_sq = 0.0;
+    for (std::size_t i = begin; i < samples_.size(); ++i) {
+      const double r = samples_[i].offset_s - fit_->predict(samples_[i].t_s);
+      mean_sq += r * r;
+    }
+    mean_sq /= window_n;
+    double var_sq = 0.0;
+    for (std::size_t i = begin; i < samples_.size(); ++i) {
+      const double r = samples_[i].offset_s - fit_->predict(samples_[i].t_s);
+      const double dev = r * r - mean_sq;
+      var_sq += dev * dev;
+    }
+    var_sq /= window_n;
+    const double gate =
+        std::max(mean_sq + std::sqrt(var_sq),
+                 config_.min_accept_band_s * config_.min_accept_band_s);
+    const double err_sq = d.residual_s * d.residual_s;
+    if (err_sq > gate) {
+      ++rejected_;
+      d.accepted = false;
+      return d;
+    }
+  }
+
+  d.accepted = true;
+  samples_.push_back({ts, offset_s});
+  if (config_.max_samples > 0 && samples_.size() > config_.max_samples) {
+    samples_.erase(samples_.begin());
+  }
+  if (config_.reestimate_each_sample) refit();
+  return d;
+}
+
+void DriftFilter::prune_and_refit() {
+  if (samples_.size() < 3) return;
+  if (!fit_) refit();
+  if (!fit_) return;
+  double mean_sq = 0.0;
+  std::vector<double> sq(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double r = samples_[i].offset_s - fit_->predict(samples_[i].t_s);
+    sq[i] = r * r;
+    mean_sq += sq[i];
+  }
+  mean_sq /= static_cast<double>(samples_.size());
+  double var = 0.0;
+  for (double s : sq) var += (s - mean_sq) * (s - mean_sq);
+  var /= static_cast<double>(samples_.size());
+  const double gate = mean_sq + std::sqrt(var);
+
+  std::vector<Sample> kept;
+  kept.reserve(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (sq[i] <= gate) kept.push_back(samples_[i]);
+  }
+  if (kept.size() >= 2) {
+    samples_ = std::move(kept);
+    refit();
+  }
+}
+
+std::optional<double> DriftFilter::drift_s_per_s() const {
+  if (!fit_) return std::nullopt;
+  return fit_->slope;
+}
+
+std::optional<double> DriftFilter::predict_s(core::TimePoint t) const {
+  if (!fit_) return std::nullopt;
+  return fit_->predict(time_axis(t));
+}
+
+}  // namespace mntp::protocol

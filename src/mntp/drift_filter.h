@@ -1,0 +1,102 @@
+// MNTP trend-line drift filter (paper §4.2, Algorithm 1 steps 11–14 and
+// the estimateDrift function; §5.3 re-estimation refinement).
+//
+// The filter fits a first-degree least-squares polynomial (offset vs
+// time) through accepted offsets — clock skew's constant component
+// dominates its variable component, so a line is the right model — then
+// judges each new offset against the extrapolated trend: compute the
+// squared error of the new sample versus the prediction and reject it if
+// that squared error exceeds the mean plus one standard deviation of the
+// accepted samples' squared errors. Accepted samples extend the trend;
+// per the §5.3 fix the drift estimate is re-fitted on every acceptance
+// (optionally disabled for the ablation study).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/linreg.h"
+#include "core/time.h"
+
+namespace mntp::protocol {
+
+struct DriftFilterConfig {
+  /// Samples accepted unconditionally while the trend bootstraps.
+  std::size_t bootstrap_samples = 10;
+  /// Re-fit the trend after every accepted sample (§5.3). When false the
+  /// fit is frozen once bootstrap completes.
+  bool reestimate_each_sample = true;
+  /// Retain at most this many samples in the fit (0 = unbounded). A
+  /// bounded window lets the trend follow slowly-varying skew.
+  std::size_t max_samples = 0;
+  /// Residual statistics (the mean + sd gate) are computed over the most
+  /// recent this-many accepted samples, so one early outlier cannot
+  /// permanently widen the gate (variance avalanche).
+  std::size_t stats_window = 40;
+  /// Floor on the acceptance band (seconds): a sample within this
+  /// distance of the trend is always accepted even when the residual
+  /// history is degenerate (e.g. a bootstrap window whose points the
+  /// line fits exactly, which would otherwise collapse the mean+sd gate
+  /// to zero and reject everything — the §5.3 pathology).
+  double min_accept_band_s = 0.015;
+};
+
+/// Decision record for one offered sample.
+struct FilterDecision {
+  bool accepted = false;
+  /// Trend prediction at the sample time (seconds); 0 when no trend yet.
+  double predicted_s = 0.0;
+  /// Sample minus prediction (the residual), seconds.
+  double residual_s = 0.0;
+  /// True while the filter was still bootstrapping.
+  bool bootstrap = false;
+};
+
+class DriftFilter {
+ public:
+  explicit DriftFilter(DriftFilterConfig config = {});
+
+  /// Offer a sample: measured offset (seconds) observed at time t.
+  FilterDecision offer(core::TimePoint t, double offset_s);
+
+  /// Prune bootstrap outliers and re-fit: drops accepted samples whose
+  /// squared residual against the current fit exceeds mean + 1 sd, then
+  /// refits on the survivors. Called when the warm-up phase completes.
+  void prune_and_refit();
+
+  /// Estimated drift (slope), seconds of offset per second of time —
+  /// multiply by 1e6 for ppm. nullopt until a trend exists.
+  [[nodiscard]] std::optional<double> drift_s_per_s() const;
+
+  /// Trend prediction at time t; nullopt until a trend exists.
+  [[nodiscard]] std::optional<double> predict_s(core::TimePoint t) const;
+
+  [[nodiscard]] std::size_t accepted_count() const { return samples_.size(); }
+  [[nodiscard]] std::size_t rejected_count() const { return rejected_; }
+  /// True until `bootstrap_samples` samples have been accepted once.
+  /// Completion is latched: pruning outliers afterwards does not re-open
+  /// the unconditional-accept window.
+  [[nodiscard]] bool bootstrapping() const { return !bootstrap_done_; }
+
+  void reset();
+
+ private:
+  struct Sample {
+    double t_s;
+    double offset_s;
+  };
+
+  void refit();
+  [[nodiscard]] double time_axis(core::TimePoint t) const {
+    return t.to_seconds();
+  }
+
+  DriftFilterConfig config_;
+  std::vector<Sample> samples_;
+  std::optional<core::LinearFit> fit_;
+  std::size_t rejected_ = 0;
+  bool bootstrap_done_ = false;
+};
+
+}  // namespace mntp::protocol

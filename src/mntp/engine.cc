@@ -1,0 +1,170 @@
+#include "mntp/engine.h"
+
+namespace mntp::protocol {
+
+namespace {
+
+DriftFilterConfig filter_config(const MntpParams& p) {
+  return DriftFilterConfig{
+      .bootstrap_samples = p.min_warmup_samples,
+      .reestimate_each_sample = p.reestimate_drift_each_sample,
+      .max_samples = 0,
+  };
+}
+
+}  // namespace
+
+MntpEngine::MntpEngine(MntpParams params, core::TimePoint start)
+    : params_(params), cycle_start_(start), filter_(filter_config(params)) {
+  if (params_.warmup_period == core::Duration::zero()) {
+    // Head-to-head mode: no distinct warm-up; the filter still
+    // bootstraps its first min_warmup_samples unconditionally.
+    phase_ = Phase::kRegular;
+  }
+}
+
+void MntpEngine::note_deferral(core::TimePoint /*t*/) { ++deferrals_; }
+
+std::size_t MntpEngine::sources_to_query() const {
+  return phase_ == Phase::kWarmup ? params_.warmup_sources : 1;
+}
+
+core::Duration MntpEngine::next_wait() const {
+  return phase_ == Phase::kWarmup ? params_.warmup_wait_time
+                                  : params_.regular_wait_time;
+}
+
+void MntpEngine::restart(core::TimePoint t) {
+  ++resets_;
+  cycle_start_ = t;
+  filter_.reset();
+  accepted_in_cycle_ = 0;
+  phase_ = params_.warmup_period == core::Duration::zero() ? Phase::kRegular
+                                                           : Phase::kWarmup;
+}
+
+void MntpEngine::enter_regular() {
+  filter_.prune_and_refit();
+  phase_ = Phase::kRegular;
+}
+
+void MntpEngine::note_clock_step(double step_s) { cum_step_s_ += step_s; }
+
+void MntpEngine::note_frequency_compensation(core::TimePoint t, double ppm) {
+  if (comp_active_ && t > comp_since_) {
+    cum_freq_s_ += comp_ppm_ * 1e-6 * (t - comp_since_).to_seconds();
+  }
+  comp_ppm_ = ppm;
+  comp_since_ = t;
+  comp_active_ = true;
+}
+
+double MntpEngine::applied_correction_s(core::TimePoint t) const {
+  double total = cum_step_s_ + cum_freq_s_;
+  if (comp_active_ && t > comp_since_) {
+    total += comp_ppm_ * 1e-6 * (t - comp_since_).to_seconds();
+  }
+  return total;
+}
+
+std::optional<double> MntpEngine::predict_offset_s(core::TimePoint t) const {
+  const auto p = filter_.predict_s(t);
+  if (!p) return std::nullopt;
+  return *p - applied_correction_s(t);
+}
+
+MntpEngine::RoundResult MntpEngine::on_round(
+    core::TimePoint t, const std::vector<double>& offsets_s) {
+  ++rounds_;
+  RoundResult rr;
+
+  // Reset period elapsed: goto Step 1 (Algorithm 1 steps 23-24).
+  if (t - cycle_start_ >= params_.reset_period) {
+    restart(t);
+    rr.reset_occurred = true;
+  }
+
+  if (!offsets_s.empty()) {
+    // Multi-source false-ticker vote (warm-up; a single source passes
+    // through untouched).
+    const auto survivors = reject_false_tickers(offsets_s);
+    const bool any_rejected = survivors.size() != offsets_s.size();
+    const double measured = combine_surviving_offsets(offsets_s, survivors);
+    // Uncorrected domain: add back the corrections the driver applied so
+    // the trend stays a single line across clock steps/frequency trims.
+    const double uncorrected = measured + applied_correction_s(t);
+
+    const FilterDecision fd = filter_.offer(t, uncorrected);
+    rr.offset_s = measured;
+    rr.corrected_s = fd.accepted || fd.predicted_s != 0.0
+                         ? fd.residual_s
+                         : measured;
+    if (fd.accepted) {
+      rr.accepted = true;
+      ++accepted_in_cycle_;
+      rr.outcome = phase_ == Phase::kWarmup ? SampleOutcome::kAcceptedWarmup
+                                            : SampleOutcome::kAcceptedRegular;
+    } else {
+      rr.outcome = SampleOutcome::kRejectedFilter;
+    }
+    // A round whose every member was voted out never reaches the filter
+    // in the paper's description; we surface the vote in telemetry when
+    // it bit but the combined offset was still rejected downstream.
+    if (any_rejected && !fd.accepted) {
+      rr.outcome = SampleOutcome::kRejectedFalseTicker;
+    }
+    records_.push_back(OffsetRecord{.t = t,
+                                    .offset_s = measured,
+                                    .corrected_s = rr.corrected_s,
+                                    .outcome = rr.outcome,
+                                    .phase = phase_,
+                                    .bootstrap = fd.bootstrap});
+  }
+
+  // Warm-up completion check (Algorithm 1 steps 11-13): period elapsed
+  // and enough recorded offsets for a trend.
+  if (phase_ == Phase::kWarmup &&
+      t - cycle_start_ >= params_.warmup_period &&
+      filter_.accepted_count() >= params_.min_warmup_samples) {
+    enter_regular();
+    rr.warmup_completed = true;
+  }
+  return rr;
+}
+
+std::vector<double> MntpEngine::accepted_offsets_ms() const {
+  std::vector<double> out;
+  for (const OffsetRecord& r : records_) {
+    if (r.outcome == SampleOutcome::kAcceptedWarmup ||
+        r.outcome == SampleOutcome::kAcceptedRegular) {
+      out.push_back(r.offset_s * 1e3);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MntpEngine::corrected_offsets_ms() const {
+  std::vector<double> out;
+  for (const OffsetRecord& r : records_) {
+    // Bootstrap acceptances have no meaningful trend residual yet.
+    if (r.bootstrap) continue;
+    if (r.outcome == SampleOutcome::kAcceptedWarmup ||
+        r.outcome == SampleOutcome::kAcceptedRegular) {
+      out.push_back(r.corrected_s * 1e3);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MntpEngine::rejected_offsets_ms() const {
+  std::vector<double> out;
+  for (const OffsetRecord& r : records_) {
+    if (r.outcome == SampleOutcome::kRejectedFilter ||
+        r.outcome == SampleOutcome::kRejectedFalseTicker) {
+      out.push_back(r.offset_s * 1e3);
+    }
+  }
+  return out;
+}
+
+}  // namespace mntp::protocol

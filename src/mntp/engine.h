@@ -1,0 +1,158 @@
+// MNTP protocol engine: Algorithm 1 as a pure, driver-agnostic state
+// machine.
+//
+// The engine owns phase bookkeeping (warm-up → regular → reset), the
+// channel gate, false-ticker rejection of multi-source rounds, and the
+// drift trend filter. It is deliberately free of any simulation or
+// network dependency so the *same* logic runs in two drivers:
+//
+//   * MntpClient   — live, event-driven against the simulated testbed;
+//   * tuner::Emulator — trace-driven replay over recorded logs (§5.3).
+//
+// The paper's MNTP tuner exists precisely because the algorithm is
+// replayable over traces; factoring the engine this way is what makes
+// that possible without code duplication.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/time.h"
+#include "mntp/drift_filter.h"
+#include "mntp/false_ticker.h"
+#include "mntp/params.h"
+#include "net/hints.h"
+
+namespace mntp::protocol {
+
+enum class Phase { kWarmup, kRegular };
+
+/// What happened to one acquisition opportunity, for telemetry/plots.
+enum class SampleOutcome {
+  kAcceptedWarmup,
+  kAcceptedRegular,
+  kRejectedFalseTicker,  // entire round discarded by the warm-up vote
+  kRejectedFilter,       // trend filter rejected the combined offset
+};
+
+struct OffsetRecord {
+  core::TimePoint t;
+  double offset_s = 0.0;     ///< combined measured offset
+  double corrected_s = 0.0;  ///< residual against the drift trend
+  SampleOutcome outcome = SampleOutcome::kAcceptedRegular;
+  Phase phase = Phase::kWarmup;
+  /// Accepted while the filter was still bootstrapping its trend; the
+  /// residual is not yet meaningful for such records.
+  bool bootstrap = false;
+};
+
+class MntpEngine {
+ public:
+  MntpEngine(MntpParams params, core::TimePoint start);
+
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+  /// favorableSNRCondition(): may a request be emitted under these hints?
+  [[nodiscard]] bool gate(const net::WirelessHints& hints) const {
+    return params_.thresholds.favorable(hints);
+  }
+
+  /// Record a deferral (gate closed at an acquisition opportunity).
+  void note_deferral(core::TimePoint t);
+
+  /// Sources the driver should query for the next round: `warmup_sources`
+  /// in warm-up, one in the regular phase.
+  [[nodiscard]] std::size_t sources_to_query() const;
+
+  /// Wait before the next acquisition opportunity in the current phase.
+  [[nodiscard]] core::Duration next_wait() const;
+
+  struct RoundResult {
+    bool accepted = false;
+    double offset_s = 0.0;
+    double corrected_s = 0.0;
+    SampleOutcome outcome = SampleOutcome::kRejectedFilter;
+    /// Set when this round completed the warm-up phase.
+    bool warmup_completed = false;
+    /// Set when the reset period elapsed and the engine restarted.
+    bool reset_occurred = false;
+  };
+
+  /// Feed the measured offsets (seconds) of one acquisition round taken
+  /// at time t. Zero, one, or `sources_to_query()` entries may be present
+  /// (failed queries simply do not contribute). Handles phase
+  /// transitions and the reset period.
+  RoundResult on_round(core::TimePoint t, const std::vector<double>& offsets_s);
+
+  /// Driver notification that it stepped the system clock by `step_s`
+  /// (positive = clock advanced). The engine keeps fitting the trend in
+  /// the *uncorrected* offset domain so the line stays linear across
+  /// steps.
+  void note_clock_step(double step_s);
+
+  /// Driver notification that it changed the clock's frequency
+  /// compensation to `ppm` at time t (correctSystemClockDrift). The
+  /// engine integrates the compensation so the uncorrected trend domain
+  /// stays linear across frequency trims as well.
+  void note_frequency_compensation(core::TimePoint t, double ppm);
+
+  /// Current drift estimate, seconds per second.
+  [[nodiscard]] std::optional<double> drift_s_per_s() const {
+    return filter_.drift_s_per_s();
+  }
+
+  /// Trend prediction of the *measured* offset at time t (uncorrected
+  /// trend minus the accumulated steps).
+  [[nodiscard]] std::optional<double> predict_offset_s(core::TimePoint t) const;
+
+  // --- Telemetry ---
+  [[nodiscard]] const std::vector<OffsetRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t deferrals() const { return deferrals_; }
+  [[nodiscard]] std::size_t resets() const { return resets_; }
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+  [[nodiscard]] const MntpParams& params() const { return params_; }
+
+  /// Runtime parameter adjustment (self-tuning, the paper's future work):
+  /// changes take effect at the next wait computation.
+  void set_regular_wait_time(core::Duration wait) {
+    params_.regular_wait_time = wait;
+  }
+  void set_warmup_wait_time(core::Duration wait) {
+    params_.warmup_wait_time = wait;
+  }
+
+  /// Accepted measured offsets in ms (for RMSE/summary computations).
+  [[nodiscard]] std::vector<double> accepted_offsets_ms() const;
+  /// Residuals-vs-trend of accepted offsets in ms ("clock corrected
+  /// drift" series of Fig 12).
+  [[nodiscard]] std::vector<double> corrected_offsets_ms() const;
+  /// Offsets the filter rejected, in ms.
+  [[nodiscard]] std::vector<double> rejected_offsets_ms() const;
+
+ private:
+  void restart(core::TimePoint t);
+  void enter_regular();
+
+  MntpParams params_;
+  Phase phase_ = Phase::kWarmup;
+  core::TimePoint cycle_start_;
+  DriftFilter filter_;
+  double cum_step_s_ = 0.0;
+  double cum_freq_s_ = 0.0;        // integrated frequency compensation
+  double comp_ppm_ = 0.0;          // active compensation
+  core::TimePoint comp_since_;     // last integration point
+  bool comp_active_ = false;
+
+  /// Total applied correction (steps + integrated compensation) at t.
+  [[nodiscard]] double applied_correction_s(core::TimePoint t) const;
+  std::vector<OffsetRecord> records_;
+  std::size_t deferrals_ = 0;
+  std::size_t resets_ = 0;
+  std::size_t rounds_ = 0;
+  std::size_t accepted_in_cycle_ = 0;
+};
+
+}  // namespace mntp::protocol

@@ -1,0 +1,44 @@
+#include "mntp/false_ticker.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mntp::protocol {
+
+std::vector<std::size_t> reject_false_tickers(std::span<const double> offsets_s) {
+  std::vector<std::size_t> survivors;
+  const std::size_t n = offsets_s.size();
+  survivors.reserve(n);
+  if (n < 3) {
+    for (std::size_t i = 0; i < n; ++i) survivors.push_back(i);
+    return survivors;
+  }
+  double mean = 0.0;
+  for (double o : offsets_s) mean += o;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double o : offsets_s) var += (o - mean) * (o - mean);
+  var /= static_cast<double>(n);
+  const double sd = std::sqrt(var);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(offsets_s[i] - mean) <= sd) survivors.push_back(i);
+  }
+  // Degenerate geometry (e.g. two tight clusters) can reject everything;
+  // fall back to keeping all rather than stalling the warm-up.
+  if (survivors.empty()) {
+    for (std::size_t i = 0; i < n; ++i) survivors.push_back(i);
+  }
+  return survivors;
+}
+
+double combine_surviving_offsets(std::span<const double> offsets_s,
+                                 std::span<const std::size_t> survivors) {
+  if (survivors.empty()) {
+    throw std::invalid_argument("combine_surviving_offsets: no survivors");
+  }
+  double acc = 0.0;
+  for (std::size_t i : survivors) acc += offsets_s[i];
+  return acc / static_cast<double>(survivors.size());
+}
+
+}  // namespace mntp::protocol

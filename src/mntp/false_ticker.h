@@ -1,0 +1,29 @@
+// Warm-up multi-source false-ticker rejection (paper §4.2).
+//
+// "We calculate the mean and standard deviation of the offsets and
+// classify the time sources whose offsets exceed the mean plus one
+// standard deviation as false tickers. We reject the false tickers to
+// ensure very tight clock synchronization." — the lightweight cousin of
+// NTP's intersection algorithm, applied to the offsets returned by the
+// parallel warm-up queries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mntp::protocol {
+
+/// Indices of offsets that survive the mean ± one-standard-deviation
+/// gate (applied on the absolute deviation from the mean, so both fast
+/// and slow false tickers are caught). With fewer than three offsets
+/// there is nothing to vote with and all survive.
+[[nodiscard]] std::vector<std::size_t> reject_false_tickers(
+    std::span<const double> offsets_s);
+
+/// Mean of the surviving offsets — the combined round offset. Requires a
+/// non-empty survivor list.
+[[nodiscard]] double combine_surviving_offsets(
+    std::span<const double> offsets_s, std::span<const std::size_t> survivors);
+
+}  // namespace mntp::protocol

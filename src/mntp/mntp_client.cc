@@ -1,0 +1,113 @@
+#include "mntp/mntp_client.h"
+
+#include <algorithm>
+
+namespace mntp::protocol {
+
+MntpClient::MntpClient(sim::Simulation& sim, sim::DisciplinedClock& clock,
+                       ntp::ServerPool& pool, net::WirelessChannel& channel,
+                       MntpParams params, core::Rng rng,
+                       ntp::QueryOptions query_options)
+    : sim_(sim),
+      clock_(clock),
+      pool_(pool),
+      channel_(channel),
+      params_(params),
+      rng_(std::move(rng)),
+      query_options_(query_options),
+      query_engine_(sim, clock) {}
+
+void MntpClient::start() {
+  running_ = true;
+  last_emission_ = sim_.now();
+  engine_ = std::make_unique<MntpEngine>(params_, sim_.now());
+  pending_ = sim_.after(core::Duration::zero(), [this] { attempt(); });
+}
+
+void MntpClient::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void MntpClient::attempt() {
+  if (!running_) return;
+  // Acquire offset only when channel is stable (Algorithm 1 steps 5/17).
+  const net::WirelessHints hints = channel_.observe_hints(sim_.now());
+  const bool favorable = engine_->gate(hints);
+  // Perpetually-unstable-channel fallback: after max_deferral without an
+  // emission, proceed regardless and let the filter judge the sample.
+  const auto& params = engine_->params();
+  const bool forced =
+      !favorable && params.max_deferral > core::Duration::zero() &&
+      sim_.now() - last_emission_ > params.max_deferral;
+  hint_log_.push_back(HintRecord{
+      .hints = hints, .favorable = favorable, .emitted = favorable || forced});
+  if (!favorable && !forced) {
+    engine_->note_deferral(sim_.now());
+    pending_ = sim_.after(params.hint_recheck_interval, [this] { attempt(); });
+    return;
+  }
+  if (forced) ++forced_emissions_;
+  last_emission_ = sim_.now();
+  run_round();
+}
+
+void MntpClient::run_round() {
+  // Pick distinct pool members: getOffsetUsingMultipleSources() in warm-up
+  // (the paper queries 0/1/3.pool.ntp.org in parallel), a single source in
+  // the regular phase.
+  const std::size_t want =
+      std::min(engine_->sources_to_query(), pool_.size());
+  std::vector<std::size_t> chosen;
+  while (chosen.size() < want) {
+    const std::size_t idx = pool_.pick_index();
+    if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end()) {
+      chosen.push_back(idx);
+    }
+  }
+
+  auto offsets = std::make_shared<std::vector<double>>();
+  auto outstanding = std::make_shared<std::size_t>(chosen.size());
+  for (const std::size_t idx : chosen) {
+    ++requests_sent_;
+    const ntp::ServerEndpoint ep =
+        pool_.endpoint(idx, &channel_.uplink(), &channel_.downlink());
+    query_engine_.query(
+        ep, query_options_,
+        [this, offsets, outstanding](core::Result<ntp::SntpSample> result) {
+          if (result.ok()) {
+            offsets->push_back(result.value().offset.to_seconds());
+          } else {
+            ++query_failures_;
+          }
+          if (--*outstanding == 0) finish_round(std::move(*offsets));
+        });
+  }
+}
+
+void MntpClient::finish_round(std::vector<double> offsets_s) {
+  if (!running_) return;
+  const core::TimePoint now = sim_.now();
+  const MntpEngine::RoundResult rr = engine_->on_round(now, offsets_s);
+
+  if (rr.accepted && params_.apply_corrections_to_clock &&
+      engine_->phase() == Phase::kRegular) {
+    // correctSystemClock(offset): step by the measured offset.
+    clock_.step(core::Duration::from_seconds(rr.offset_s));
+    engine_->note_clock_step(rr.offset_s);
+  }
+  if (rr.warmup_completed && params_.correct_drift &&
+      params_.apply_corrections_to_clock) {
+    // correctSystemClockDrift(driftEst): trim the clock frequency by the
+    // estimated drift (positive drift = client losing time = speed up).
+    if (const auto drift = engine_->drift_s_per_s()) {
+      const double comp_ppm =
+          clock_.frequency_compensation_ppm() + *drift * 1e6;
+      clock_.set_frequency_compensation(now, comp_ppm);
+      engine_->note_frequency_compensation(now, comp_ppm);
+    }
+  }
+  pending_ = sim_.after(engine_->next_wait(), [this] { attempt(); });
+}
+
+}  // namespace mntp::protocol

@@ -1,0 +1,80 @@
+// Live MNTP client: drives the MntpEngine against the simulated testbed.
+//
+// The client is the deployable artifact the paper describes — "a
+// lightweight, simple and easy-to-deploy modification of SNTP": it
+// samples wireless hints from the adaptor (here, the channel model),
+// defers acquisitions while the channel is unfavorable, fans warm-up
+// rounds out to multiple pool servers, feeds results to the engine, and
+// (optionally) applies accepted corrections to the system clock.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "mntp/engine.h"
+#include "net/wireless_channel.h"
+#include "ntp/pool.h"
+#include "ntp/transport.h"
+#include "sim/clock_model.h"
+#include "sim/simulation.h"
+
+namespace mntp::protocol {
+
+/// One hint observation taken at an acquisition opportunity, plus what
+/// the client did with it — the raw material of the paper's Figure 7
+/// "signals and selection" plot.
+struct HintRecord {
+  net::WirelessHints hints;
+  bool favorable = false;
+  bool emitted = false;  ///< favorable AND a request round was sent
+};
+
+class MntpClient {
+ public:
+  MntpClient(sim::Simulation& sim, sim::DisciplinedClock& clock,
+             ntp::ServerPool& pool, net::WirelessChannel& channel,
+             MntpParams params, core::Rng rng,
+             ntp::QueryOptions query_options = {});
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const MntpEngine& engine() const { return *engine_; }
+  /// Mutable engine access for runtime adaptation (self-tuning). Only
+  /// valid after start().
+  [[nodiscard]] MntpEngine& mutable_engine() { return *engine_; }
+  /// Emissions forced by the max_deferral fallback.
+  [[nodiscard]] std::size_t forced_emissions() const { return forced_emissions_; }
+  [[nodiscard]] const std::vector<HintRecord>& hint_log() const {
+    return hint_log_;
+  }
+  [[nodiscard]] std::size_t requests_sent() const { return requests_sent_; }
+  [[nodiscard]] std::size_t query_failures() const { return query_failures_; }
+
+ private:
+  void attempt();
+  void run_round();
+  void finish_round(std::vector<double> offsets_s);
+
+  sim::Simulation& sim_;
+  sim::DisciplinedClock& clock_;
+  ntp::ServerPool& pool_;
+  net::WirelessChannel& channel_;
+  MntpParams params_;
+  core::Rng rng_;
+  ntp::QueryOptions query_options_;
+  ntp::QueryEngine query_engine_;
+  std::unique_ptr<MntpEngine> engine_;
+  sim::EventHandle pending_;
+  bool running_ = false;
+  std::vector<HintRecord> hint_log_;
+  std::size_t requests_sent_ = 0;
+  std::size_t query_failures_ = 0;
+  std::size_t forced_emissions_ = 0;
+  core::TimePoint last_emission_;
+};
+
+}  // namespace mntp::protocol

@@ -1,0 +1,91 @@
+// MNTP protocol parameters (paper §4, Algorithm 1 inputs, and the
+// baseline wireless-hint thresholds of §4.2).
+#pragma once
+
+#include <cstddef>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/hints.h"
+
+namespace mntp::protocol {
+
+/// Baseline thresholds for the wireless hints. The paper: "RSSI value
+/// should be greater than -75 dB, noise level should be lesser than
+/// -70 dB and the SNR margin should be greater than or equal to 20 dB."
+struct HintThresholds {
+  core::Dbm min_rssi{-75.0};
+  core::Dbm max_noise{-70.0};
+  core::Decibels min_snr_margin{20.0};
+
+  /// True when a hint reading satisfies all three conditions — the
+  /// favorableSNRCondition() of Algorithm 1.
+  [[nodiscard]] bool favorable(const net::WirelessHints& h) const {
+    return h.rssi > min_rssi && h.noise < max_noise &&
+           h.snr_margin() >= min_snr_margin;
+  }
+};
+
+/// The four user-tunable inputs of Algorithm 1 plus implementation knobs.
+struct MntpParams {
+  // --- Algorithm 1 inputs ---
+  /// Time spent estimating clock offsets before the regular phase.
+  core::Duration warmup_period = core::Duration::minutes(30);
+  /// Interval between acquisitions during warm-up.
+  core::Duration warmup_wait_time = core::Duration::seconds(15);
+  /// Interval between acquisitions during the regular phase.
+  core::Duration regular_wait_time = core::Duration::minutes(15);
+  /// Duration of warm-up plus regular periods; afterwards the algorithm
+  /// restarts from warm-up (goto Step 1).
+  core::Duration reset_period = core::Duration::hours(4);
+
+  HintThresholds thresholds;
+
+  // --- Implementation knobs ---
+  /// Reference clocks queried in parallel during warm-up (the paper uses
+  /// 0/1/3.pool.ntp.org — three sources).
+  std::size_t warmup_sources = 3;
+  /// Minimum accepted warm-up samples before a drift trend is fitted
+  /// (the paper records 10).
+  std::size_t min_warmup_samples = 10;
+  /// How often the channel is re-checked while unfavorable (a deferral
+  /// does not emit any request).
+  core::Duration hint_recheck_interval = core::Duration::seconds(1);
+  /// Perpetually-unstable-channel fallback (the paper defers this case to
+  /// future work): when the gate has been closed for longer than this
+  /// since the last emission, emit anyway and let the trend filter judge
+  /// the degraded sample. Zero disables the fallback (paper behaviour:
+  /// wait indefinitely).
+  core::Duration max_deferral = core::Duration::zero();
+  /// Re-estimate the drift trend with every accepted sample (the §5.3
+  /// refinement). Disabling reproduces the "filter rejects everything"
+  /// failure mode the tuner uncovered — kept as an ablation switch.
+  bool reestimate_drift_each_sample = true;
+  /// Apply accepted offsets to the system clock (vendor-specific in the
+  /// paper; benches that only compare reported offsets leave this off).
+  bool apply_corrections_to_clock = false;
+  /// Compensate the clock frequency by the estimated drift when entering
+  /// the regular phase (correctSystemClockDrift of Algorithm 1).
+  bool correct_drift = true;
+};
+
+/// Head-to-head configuration used by the §5.1 baseline experiments:
+/// "we do not consider warmup and regular periods, and we switched off
+/// the drift correction feature" — a fixed 5-second cadence with gating
+/// and filtering active.
+[[nodiscard]] inline MntpParams head_to_head_params() {
+  MntpParams p;
+  p.warmup_period = core::Duration::zero();  // skip straight to regular
+  p.warmup_wait_time = core::Duration::seconds(5);
+  p.regular_wait_time = core::Duration::seconds(5);
+  p.reset_period = core::Duration::hours(24 * 365);  // effectively never
+  p.warmup_sources = 1;
+  // The paper still records 10 offsets to create the trend line before
+  // the filter starts judging, even in the head-to-head runs.
+  p.min_warmup_samples = 10;
+  p.correct_drift = false;
+  p.apply_corrections_to_clock = false;
+  return p;
+}
+
+}  // namespace mntp::protocol

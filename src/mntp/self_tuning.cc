@@ -1,0 +1,57 @@
+#include "mntp/self_tuning.h"
+
+#include <algorithm>
+
+namespace mntp::protocol {
+
+SelfTuner::SelfTuner(sim::Simulation& sim, MntpClient& client,
+                     SelfTunerParams params)
+    : sim_(sim),
+      client_(client),
+      params_(params),
+      process_(sim, params.adapt_interval, [this] { adapt(); }) {}
+
+void SelfTuner::start() { process_.start(params_.adapt_interval); }
+void SelfTuner::stop() { process_.stop(); }
+
+core::Duration SelfTuner::current_wait() const {
+  return client_.engine().params().regular_wait_time;
+}
+
+void SelfTuner::adapt() {
+  const auto& records = client_.engine().records();
+  // Only the rounds since the last adaptation vote.
+  std::size_t accepted = 0, rejected = 0;
+  for (std::size_t i = seen_records_; i < records.size(); ++i) {
+    const bool ok = records[i].outcome == SampleOutcome::kAcceptedWarmup ||
+                    records[i].outcome == SampleOutcome::kAcceptedRegular;
+    (ok ? accepted : rejected) += 1;
+  }
+  seen_records_ = records.size();
+  const std::size_t n = accepted + rejected;
+  if (n < params_.min_observations) return;
+
+  const double reject_rate =
+      static_cast<double>(rejected) / static_cast<double>(n);
+  const core::Duration wait = current_wait();
+  MntpEngine& engine = client_.mutable_engine();
+  if (reject_rate > params_.reject_rate_high) {
+    // Trend going stale / channel rough: sample more often.
+    const auto faster = std::max(params_.min_regular_wait,
+                                 wait.scaled(1.0 / params_.step_factor));
+    if (faster < wait) {
+      engine.set_regular_wait_time(faster);
+      ++speedups_;
+    }
+  } else if (reject_rate < params_.reject_rate_low) {
+    // Stable: save requests.
+    const auto slower =
+        std::min(params_.max_regular_wait, wait.scaled(params_.step_factor));
+    if (slower > wait) {
+      engine.set_regular_wait_time(slower);
+      ++backoffs_;
+    }
+  }
+}
+
+}  // namespace mntp::protocol

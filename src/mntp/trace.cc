@@ -1,0 +1,78 @@
+#include "mntp/trace.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace mntp::protocol {
+
+std::string Trace::to_csv() const {
+  std::ostringstream out;
+  out << "t_s,rssi_dbm,noise_dbm,offsets_s...\n";
+  char buf[64];
+  for (const TraceRecord& r : records) {
+    std::snprintf(buf, sizeof buf, "%.6f,%.2f,%.2f", r.t_s, r.rssi_dbm,
+                  r.noise_dbm);
+    out << buf;
+    for (double o : r.offsets_s) {
+      std::snprintf(buf, sizeof buf, ",%.9f", o);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+core::Result<double> parse_double(const std::string& field) {
+  double v = 0.0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) {
+    return core::Error::io("bad numeric field: '" + field + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+core::Result<Trace> Trace::from_csv(const std::string& csv) {
+  Trace trace;
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  double last_t = -1.0;
+  while (std::getline(in, line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    std::vector<double> values;
+    while (std::getline(row, field, ',')) {
+      auto v = parse_double(field);
+      if (!v.ok()) return v.error();
+      values.push_back(v.value());
+    }
+    if (values.size() < 3) {
+      return core::Error::io("trace row needs t,rssi,noise at minimum");
+    }
+    TraceRecord r;
+    r.t_s = values[0];
+    r.rssi_dbm = values[1];
+    r.noise_dbm = values[2];
+    r.offsets_s.assign(values.begin() + 3, values.end());
+    if (r.t_s <= last_t) {
+      return core::Error::io("trace timestamps must be strictly increasing");
+    }
+    last_t = r.t_s;
+    trace.records.push_back(std::move(r));
+  }
+  return trace;
+}
+
+}  // namespace mntp::protocol

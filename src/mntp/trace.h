@@ -1,0 +1,49 @@
+// Offset/hint traces: the data the MNTP tuner operates on.
+//
+// The tuner's logger records, every five seconds, the wireless hints and
+// the SNTP offsets obtained from multiple reference clocks (§5.3). A
+// trace is replayable: the emulator re-runs Algorithm 1 over it under
+// different parameter settings without touching the network. Traces
+// round-trip through a simple CSV format so they can be inspected,
+// stored, and fed back in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/time.h"
+
+namespace mntp::protocol {
+
+/// One acquisition opportunity in a trace.
+struct TraceRecord {
+  /// Seconds since trace start (true timeline).
+  double t_s = 0.0;
+  double rssi_dbm = 0.0;
+  double noise_dbm = 0.0;
+  /// Measured offsets (seconds) from the sources queried at this
+  /// opportunity; empty when every query failed.
+  std::vector<double> offsets_s;
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  [[nodiscard]] bool empty() const { return records.empty(); }
+  [[nodiscard]] std::size_t size() const { return records.size(); }
+  /// Trace span in seconds (last record time; 0 for an empty trace).
+  [[nodiscard]] double span_s() const {
+    return records.empty() ? 0.0 : records.back().t_s;
+  }
+
+  /// CSV rendering: header then `t_s,rssi_dbm,noise_dbm,offs0,offs1,...`
+  /// with trailing offset columns ragged per record.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Parse a CSV produced by to_csv(). Fails on malformed rows or
+  /// non-monotonic timestamps.
+  static core::Result<Trace> from_csv(const std::string& csv);
+};
+
+}  // namespace mntp::protocol

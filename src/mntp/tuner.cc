@@ -1,0 +1,155 @@
+#include "mntp/tuner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/stats.h"
+
+namespace mntp::protocol::tuner {
+
+Logger::Logger(sim::Simulation& sim, sim::DisciplinedClock& clock,
+               ntp::ServerPool& pool, net::WirelessChannel& channel,
+               LoggerParams params, core::Rng rng)
+    : sim_(sim),
+      pool_(pool),
+      channel_(channel),
+      params_(params),
+      rng_(std::move(rng)),
+      engine_(sim, clock),
+      process_(sim, params.interval, [this] { capture_once(); }) {}
+
+void Logger::start() {
+  start_ = sim_.now();
+  started_ = true;
+  process_.start();
+}
+
+void Logger::stop() { process_.stop(); }
+
+void Logger::capture_once() {
+  const core::TimePoint now = sim_.now();
+  const net::WirelessHints hints = channel_.observe_hints(now);
+
+  // Query `sources` distinct pool members in parallel, unconditionally —
+  // the logger captures everything; gating decisions belong to the
+  // emulator replaying the trace.
+  const std::size_t want = std::min(params_.sources, pool_.size());
+  std::vector<std::size_t> chosen;
+  while (chosen.size() < want) {
+    const std::size_t idx = pool_.pick_index();
+    if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end()) {
+      chosen.push_back(idx);
+    }
+  }
+
+  auto record = std::make_shared<TraceRecord>();
+  record->t_s = (now - start_).to_seconds();
+  record->rssi_dbm = hints.rssi.value();
+  record->noise_dbm = hints.noise.value();
+
+  auto outstanding = std::make_shared<std::size_t>(chosen.size());
+  for (const std::size_t idx : chosen) {
+    const ntp::ServerEndpoint ep =
+        pool_.endpoint(idx, &channel_.uplink(), &channel_.downlink());
+    engine_.query(ep, params_.query_options,
+                  [this, record, outstanding](core::Result<ntp::SntpSample> r) {
+                    if (r.ok()) {
+                      record->offsets_s.push_back(r.value().offset.to_seconds());
+                    }
+                    if (--*outstanding == 0) {
+                      // Rounds complete out of order when an exchange
+                      // outlives the capture interval; keep the trace
+                      // sorted by emission time (records are nearly
+                      // sorted, so this back-insertion is cheap).
+                      auto& recs = trace_.records;
+                      auto it = recs.end();
+                      while (it != recs.begin() &&
+                             std::prev(it)->t_s > record->t_s) {
+                        --it;
+                      }
+                      recs.insert(it, std::move(*record));
+                    }
+                  });
+  }
+}
+
+EmulationResult emulate(const Trace& trace, const MntpParams& params) {
+  EmulationResult result;
+  if (trace.empty()) return result;
+
+  MntpEngine engine(params, core::TimePoint::epoch());
+  // Next instant at which the algorithm wants to act; starts immediately.
+  double next_action_s = 0.0;
+
+  for (const TraceRecord& rec : trace.records) {
+    if (rec.t_s < next_action_s) continue;  // still waiting
+
+    const core::TimePoint t =
+        core::TimePoint::epoch() + core::Duration::from_seconds(rec.t_s);
+    const net::WirelessHints hints{
+        .when = t,
+        .rssi = core::Dbm{rec.rssi_dbm},
+        .noise = core::Dbm{rec.noise_dbm},
+    };
+    if (!engine.gate(hints)) {
+      engine.note_deferral(t);
+      next_action_s = rec.t_s + params.hint_recheck_interval.to_seconds();
+      continue;
+    }
+
+    // Emit: consume up to sources_to_query() offsets from the record.
+    const std::size_t want = engine.sources_to_query();
+    std::vector<double> offsets(
+        rec.offsets_s.begin(),
+        rec.offsets_s.begin() +
+            static_cast<std::ptrdiff_t>(std::min(want, rec.offsets_s.size())));
+    result.requests += want;
+    const MntpEngine::RoundResult rr = engine.on_round(t, offsets);
+    if (rr.reset_occurred) ++result.resets;
+    next_action_s = rec.t_s + engine.next_wait().to_seconds();
+  }
+
+  result.reported_offsets_ms = engine.accepted_offsets_ms();
+  result.rmse_ms = core::rmse(result.reported_offsets_ms, 0.0);
+  result.deferrals = engine.deferrals();
+  result.rejections = engine.rejected_offsets_ms().size();
+  return result;
+}
+
+std::string SearchEntry::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "warmup=%.1fmin wwait=%.3fmin rwait=%.1fmin reset=%.0fmin "
+                "rmse=%.2fms requests=%zu",
+                params.warmup_period.to_seconds() / 60.0,
+                params.warmup_wait_time.to_seconds() / 60.0,
+                params.regular_wait_time.to_seconds() / 60.0,
+                params.reset_period.to_seconds() / 60.0, rmse_ms, requests);
+  return buf;
+}
+
+std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space) {
+  std::vector<SearchEntry> out;
+  for (const core::Duration wp : space.warmup_periods) {
+    for (const core::Duration wwt : space.warmup_wait_times) {
+      for (const core::Duration rwt : space.regular_wait_times) {
+        for (const core::Duration rp : space.reset_periods) {
+          SearchEntry entry;
+          entry.params = space.base;
+          entry.params.warmup_period = wp;
+          entry.params.warmup_wait_time = wwt;
+          entry.params.regular_wait_time = rwt;
+          entry.params.reset_period = rp;
+          const EmulationResult r = emulate(trace, entry.params);
+          entry.rmse_ms = r.rmse_ms;
+          entry.requests = r.requests;
+          out.push_back(std::move(entry));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mntp::protocol::tuner

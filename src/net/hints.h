@@ -1,0 +1,23 @@
+// Wireless hints: the link-layer observables MNTP's channel gate reads.
+//
+// The paper (§4.1) samples Received Signal Strength Indication and the
+// noise floor from the wireless adaptor (via `airport` / `iwconfig`) and
+// derives the SNR margin as RSSI - noise. This struct is the simulated
+// equivalent of one such adaptor reading.
+#pragma once
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace mntp::net {
+
+struct WirelessHints {
+  core::TimePoint when;
+  core::Dbm rssi;
+  core::Dbm noise;
+
+  /// SNR margin as the paper defines it: RSSI - noise.
+  [[nodiscard]] core::Decibels snr_margin() const { return rssi - noise; }
+};
+
+}  // namespace mntp::net

@@ -1,0 +1,53 @@
+#include "net/link.h"
+
+#include <memory>
+
+#include "sim/simulation.h"
+
+namespace mntp::net {
+
+namespace {
+
+struct Walker : std::enable_shared_from_this<Walker> {
+  sim::Simulation& sim;
+  LinkPath path;
+  std::size_t bytes;
+  std::function<void(core::TimePoint)> on_arrival;
+  std::function<void()> on_drop;
+
+  Walker(sim::Simulation& s, LinkPath p, std::size_t b,
+         std::function<void(core::TimePoint)> arr, std::function<void()> drop)
+      : sim(s),
+        path(std::move(p)),
+        bytes(b),
+        on_arrival(std::move(arr)),
+        on_drop(std::move(drop)) {}
+
+  void step(std::size_t hop_index, core::TimePoint t) {
+    if (hop_index == path.hop_count()) {
+      if (on_arrival) on_arrival(t);
+      return;
+    }
+    const TransmitResult r = path.hop(hop_index).transmit(t, bytes);
+    if (!r.delivered) {
+      if (on_drop) on_drop();
+      return;
+    }
+    auto self = shared_from_this();
+    sim.at(t + r.delay, [self, hop_index, next = t + r.delay] {
+      self->step(hop_index + 1, next);
+    });
+  }
+};
+
+}  // namespace
+
+void send_datagram(sim::Simulation& sim, LinkPath path, std::size_t bytes,
+                   std::function<void(core::TimePoint)> on_arrival,
+                   std::function<void()> on_drop) {
+  auto w = std::make_shared<Walker>(sim, std::move(path), bytes,
+                                    std::move(on_arrival), std::move(on_drop));
+  w->step(0, sim.now());
+}
+
+}  // namespace mntp::net

@@ -1,0 +1,67 @@
+// Link abstraction.
+//
+// A Link decides, per packet, whether the packet survives and how long it
+// takes to traverse the hop. Links are stateful (channels fade, queues
+// fill); both decisions may depend on when the packet is offered, and
+// stateful links require queries in non-decreasing time order.
+// Directionality matters: a duplex hop is modeled as two Link endpoints
+// (possibly sharing state), which is what lets the cellular model express
+// the uplink/downlink asymmetry that biases SNTP offsets.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/time.h"
+
+namespace mntp::sim {
+class Simulation;
+}
+
+namespace mntp::net {
+
+/// Outcome of offering one packet to a link.
+struct TransmitResult {
+  bool delivered = false;
+  /// One-way traversal time; meaningful only when delivered.
+  core::Duration delay = core::Duration::zero();
+};
+
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Offer a packet of `bytes` at true time `now`. `now` must be
+  /// non-decreasing across calls for stateful links — which is why
+  /// multi-hop traversal is event-driven (see send_datagram).
+  virtual TransmitResult transmit(core::TimePoint now, std::size_t bytes) = 0;
+};
+
+/// An ordered sequence of links forming a unidirectional path. The packet
+/// is lost if any hop drops it; delays accumulate hop by hop.
+class LinkPath {
+ public:
+  LinkPath() = default;
+  explicit LinkPath(std::vector<Link*> hops) : hops_(std::move(hops)) {}
+
+  void append(Link& hop) { hops_.push_back(&hop); }
+
+  [[nodiscard]] std::size_t hop_count() const { return hops_.size(); }
+  [[nodiscard]] Link& hop(std::size_t i) const { return *hops_.at(i); }
+
+ private:
+  std::vector<Link*> hops_;
+};
+
+/// Fire-and-forget datagram send. The packet traverses `path` hop by hop;
+/// each hop is evaluated by a simulation event at the packet's arrival
+/// time at that hop, preserving the time-monotonic query contract of
+/// stateful links. On end-to-end delivery `on_arrival(arrival_time)`
+/// fires; if any hop drops the packet `on_drop()` fires (at the drop
+/// instant) when provided. Exactly one of the two callbacks runs.
+void send_datagram(sim::Simulation& sim, LinkPath path, std::size_t bytes,
+                   std::function<void(core::TimePoint)> on_arrival,
+                   std::function<void()> on_drop = {});
+
+}  // namespace mntp::net

@@ -1,0 +1,154 @@
+#include "net/wireless_channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mntp::net {
+
+WirelessChannel::WirelessChannel(WirelessChannelParams params, core::Rng rng)
+    : params_(params), rng_(std::move(rng)), tx_power_(params.default_tx_power) {
+  if (params_.tick <= core::Duration::zero()) {
+    throw std::invalid_argument("WirelessChannel: tick must be > 0");
+  }
+  if (params_.max_retries < 0) {
+    throw std::invalid_argument("WirelessChannel: max_retries must be >= 0");
+  }
+  // First good->bad transition.
+  next_transition_ = core::TimePoint::epoch() +
+      core::Duration::from_seconds(
+          rng_.exponential(params_.mean_good_duration.to_seconds()));
+}
+
+void WirelessChannel::set_utilization(double u) {
+  utilization_ = std::clamp(u, 0.0, 1.0);
+}
+
+void WirelessChannel::advance_to(core::TimePoint t) {
+  if (t < last_) {
+    throw std::logic_error("WirelessChannel: time moved backwards");
+  }
+  // Gilbert–Elliott transitions: exponential sojourn times.
+  while (next_transition_ <= t) {
+    bad_ = !bad_;
+    const double mean_s = (bad_ ? params_.mean_bad_duration
+                                : params_.mean_good_duration)
+                              .to_seconds();
+    next_transition_ += core::Duration::from_seconds(rng_.exponential(mean_s));
+  }
+  // OU processes, integrated in fixed ticks for query-order independence.
+  while (last_ < t) {
+    const core::TimePoint next = std::min(t, last_ + params_.tick);
+    const double dt = (next - last_).to_seconds();
+    const double a_sh = dt / params_.shadowing_tau_s;
+    shadow_db_ += -a_sh * shadow_db_ +
+                  params_.shadowing_sigma_db * std::sqrt(2.0 * a_sh) *
+                      rng_.normal(0.0, 1.0);
+    const double a_no = dt / params_.noise_tau_s;
+    noise_wander_db_ += -a_no * noise_wander_db_ +
+                        params_.noise_sigma_db * std::sqrt(2.0 * a_no) *
+                            rng_.normal(0.0, 1.0);
+    last_ = next;
+  }
+}
+
+bool WirelessChannel::in_bad_state(core::TimePoint now) {
+  advance_to(now);
+  return bad_;
+}
+
+core::Dbm WirelessChannel::true_rssi(core::TimePoint now) {
+  advance_to(now);
+  core::Dbm rssi = tx_power_ - params_.path_loss + core::Decibels{shadow_db_};
+  if (bad_) rssi = rssi - params_.bad_extra_fade;
+  return rssi;
+}
+
+core::Dbm WirelessChannel::true_noise(core::TimePoint now) {
+  advance_to(now);
+  core::Dbm noise = params_.base_noise + core::Decibels{noise_wander_db_} +
+                    core::Decibels{params_.load_noise_rise.value() * utilization_};
+  if (bad_) noise = noise + params_.bad_noise_rise;
+  return noise;
+}
+
+WirelessHints WirelessChannel::observe_hints(core::TimePoint now) {
+  const core::Dbm rssi = true_rssi(now);
+  const core::Dbm noise = true_noise(now);
+  return WirelessHints{
+      .when = now,
+      .rssi = rssi + core::Decibels{rng_.normal(0.0, params_.fast_fading_sigma_db)},
+      .noise = noise + core::Decibels{rng_.normal(0.0, params_.fast_fading_sigma_db * 0.5)},
+  };
+}
+
+double WirelessChannel::attempt_failure_probability(core::Decibels snr) const {
+  // Logistic in SNR margin: ~0 above snr50 + a few slopes, ~1 well below.
+  const double p_snr =
+      1.0 / (1.0 + std::exp((snr.value() - params_.snr50_db) / params_.snr_slope_db));
+  const double p_collision = params_.collision_at_full_load * utilization_;
+  return std::clamp(p_snr + (1.0 - p_snr) * p_collision, 0.0, 1.0);
+}
+
+TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
+                                             std::size_t bytes,
+                                             bool is_uplink) {
+  advance_to(now);
+  const double queue_factor = is_uplink ? 1.0 : params_.downlink_queue_factor;
+  const double spike_factor = is_uplink ? 1.0 : params_.downlink_spike_factor;
+  const core::Decibels snr = true_rssi(now) - true_noise(now);
+  const double p_fail = attempt_failure_probability(snr);
+
+  // MAC retry loop: each attempt independently fails with p_fail; a
+  // failed attempt costs an exponential backoff before the next try.
+  int retries = 0;
+  bool delivered = false;
+  core::Duration backoff = core::Duration::zero();
+  for (int attempt = 0; attempt <= params_.max_retries; ++attempt) {
+    if (!rng_.bernoulli(p_fail)) {
+      delivered = true;
+      retries = attempt;
+      break;
+    }
+    backoff += core::Duration::from_seconds(
+        rng_.exponential(params_.retry_backoff.to_seconds()) *
+        static_cast<double>(attempt + 1));
+  }
+  if (!delivered) {
+    return {.delivered = false, .delay = core::Duration::zero()};
+  }
+
+  // Queueing behind cross-traffic: M/M/1-flavoured mean wait
+  // rho/(1-rho) * service, sampled exponentially and capped.
+  core::Duration queueing = core::Duration::zero();
+  if (utilization_ > 0.0) {
+    const double rho = std::min(utilization_, 0.97);
+    const double mean_wait_s =
+        rho / (1.0 - rho) * params_.service_time.to_seconds() * queue_factor;
+    queueing = core::Duration::from_seconds(rng_.exponential(mean_wait_s));
+    queueing = std::min(queueing, params_.max_queueing);
+  }
+
+  // Bad-state heavy-tail stalls: rare but large, the source of the
+  // multi-hundred-millisecond SNTP offsets the paper observes. They hit
+  // the uplink harder (see downlink_spike_factor).
+  core::Duration spike = core::Duration::zero();
+  if (bad_ &&
+      rng_.bernoulli(params_.bad_spike_probability * spike_factor)) {
+    spike = core::Duration::from_seconds(
+        rng_.pareto(params_.spike_scale.to_seconds(), params_.spike_shape));
+    spike = std::min(spike, params_.max_spike);
+  }
+
+  core::Duration serialization = core::Duration::zero();
+  if (params_.bytes_per_second > 0.0) {
+    serialization = core::Duration::from_seconds(
+        static_cast<double>(bytes) * (1.0 + static_cast<double>(retries)) /
+        params_.bytes_per_second);
+  }
+
+  return {.delivered = true,
+          .delay = params_.base_delay + backoff + queueing + spike + serialization};
+}
+
+}  // namespace mntp::net

@@ -1,0 +1,87 @@
+#include "ntp/clock_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mntp::ntp {
+
+ClockFilter::ClockFilter(ClockFilterParams params)
+    : params_(params), stages_(params.stages == 0 ? 1 : params.stages) {
+  if (params.stages == 0) {
+    throw std::invalid_argument("ClockFilter: stages must be > 0");
+  }
+}
+
+void ClockFilter::reset() {
+  stages_.clear();
+  current_.reset();
+  last_used_ = core::TimePoint::epoch();
+  seen_ = 0;
+  suppressed_ = 0;
+}
+
+std::optional<PeerEstimate> ClockFilter::update(core::Duration offset,
+                                                core::Duration delay,
+                                                core::TimePoint now) {
+  ++seen_;
+
+  // Popcorn spike suppressor: a lone sample far from the current estimate
+  // is dropped (but jitter state below still reflects the shift if the
+  // next sample confirms it).
+  if (current_ && params_.popcorn_gate > 0.0) {
+    const double jitter =
+        std::max(current_->jitter_s, params_.popcorn_jitter_floor_s);
+    const double dev_s = (offset - current_->offset).abs().to_seconds();
+    if (dev_s > params_.popcorn_gate * jitter) {
+      ++suppressed_;
+      return std::nullopt;
+    }
+  }
+
+  stages_.push(Stage{.offset = offset,
+                     .delay = delay,
+                     .dispersion = params_.base_dispersion,
+                     .when = now});
+
+  // Nominate the min-delay sample, with each stage's dispersion aged by
+  // PHI * (now - sample time).
+  std::size_t best = 0;
+  core::Duration best_delay = core::Duration::max();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].delay < best_delay) {
+      best_delay = stages_[i].delay;
+      best = i;
+    }
+  }
+  const Stage& nominated = stages_[best];
+
+  PeerEstimate est;
+  est.offset = nominated.offset;
+  est.delay = nominated.delay;
+  est.dispersion =
+      nominated.dispersion +
+      core::Duration::from_seconds(params_.phi * (now - nominated.when).to_seconds());
+
+  // Peer jitter: RMS offset deviation of the other stages from the
+  // nominated sample (RFC 5905 §10).
+  double acc = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i == best) continue;
+    const double d = (stages_[i].offset - nominated.offset).to_seconds();
+    acc += d * d;
+    ++terms;
+  }
+  est.jitter_s = terms > 0 ? std::sqrt(acc / static_cast<double>(terms))
+                           : params_.base_dispersion.to_seconds();
+
+  // Each nominated sample is handed to the discipline at most once.
+  est.fresh = nominated.when > last_used_;
+  if (est.fresh) last_used_ = nominated.when;
+
+  current_ = est;
+  return est;
+}
+
+}  // namespace mntp::ntp

@@ -1,0 +1,76 @@
+#include "ntp/pool.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mntp::ntp {
+
+ServerPool::ServerPool(PoolParams params, core::Rng rng)
+    : params_(params), rng_(std::move(rng)) {
+  if (params_.server_count == 0) {
+    throw std::invalid_argument("ServerPool: need at least one server");
+  }
+  if (params_.false_ticker_count + params_.kiss_of_death_count >
+      params_.server_count) {
+    throw std::invalid_argument("ServerPool: more misbehaving members than servers");
+  }
+
+  const std::size_t honest = params_.server_count -
+                             params_.false_ticker_count -
+                             params_.kiss_of_death_count;
+  const std::size_t kod_end = honest + params_.kiss_of_death_count;
+  for (std::size_t i = 0; i < params_.server_count; ++i) {
+    Member m;
+    const bool kod = i >= honest && i < kod_end;
+    const bool false_ticker = i >= kod_end;
+
+    NtpServerParams sp;
+    if (kod) {
+      sp.kiss_of_death = true;
+    } else if (false_ticker) {
+      const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+      sp = NtpServer::false_ticker(sign * params_.false_ticker_offset_s,
+                                   /*skew_ppm=*/rng_.uniform(-3.0, 3.0));
+    } else {
+      sp.stratum = rng_.bernoulli(params_.stratum1_fraction) ? 1 : 2;
+      sp.reference_id = sp.stratum == 1 ? 0x47505300   // "GPS"
+                                        : 0x4e495354;  // "NIST"
+      sp.clock_offset_s = rng_.uniform(-params_.server_offset_bound_s,
+                                       params_.server_offset_bound_s);
+    }
+    m.server = std::make_unique<NtpServer>(
+        "pool-" + std::to_string(i) +
+            (false_ticker ? "-false" : (kod ? "-kod" : "")),
+        sp, rng_.fork());
+    m.false_ticker = false_ticker;
+
+    const double base_s = rng_.uniform(params_.min_base_owd.to_seconds(),
+                                       params_.max_base_owd.to_seconds());
+    const double asym = rng_.uniform(-params_.asymmetry / 2, params_.asymmetry / 2);
+    m.wan_up = std::make_unique<net::WiredLink>(
+        net::WiredLinkParams::wan(
+            core::Duration::from_seconds(base_s * (1.0 + asym))),
+        rng_.fork());
+    m.wan_down = std::make_unique<net::WiredLink>(
+        net::WiredLinkParams::wan(
+            core::Duration::from_seconds(base_s * (1.0 - asym))),
+        rng_.fork());
+    members_.push_back(std::move(m));
+  }
+}
+
+ServerEndpoint ServerPool::endpoint(std::size_t i, net::Link* last_hop_up,
+                                    net::Link* last_hop_down) {
+  Member& m = members_.at(i);
+  ServerEndpoint ep;
+  ep.server = m.server.get();
+  if (last_hop_up != nullptr) ep.up.append(*last_hop_up);
+  ep.up.append(*m.wan_up);
+  ep.down.append(*m.wan_down);
+  if (last_hop_down != nullptr) ep.down.append(*last_hop_down);
+  return ep;
+}
+
+std::size_t ServerPool::pick_index() { return rng_.index(members_.size()); }
+
+}  // namespace mntp::ntp

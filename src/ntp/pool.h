@@ -1,0 +1,92 @@
+// Simulated NTP server pool.
+//
+// The paper's clients query `0/1/3.pool.ntp.org`; every request is
+// "randomly assigned to a new NTP time reference" by pool DNS rotation
+// (§3.2). ServerPool owns a set of stratum-1/2 servers, each behind its
+// own asymmetric wired WAN segment, and hands out a uniformly random
+// endpoint per query. Optionally some members are false tickers, which is
+// what MNTP's warm-up rejection is for.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "net/wired_link.h"
+#include "ntp/server.h"
+#include "ntp/transport.h"
+
+namespace mntp::ntp {
+
+struct PoolParams {
+  std::size_t server_count = 8;
+  /// Base one-way WAN delay range across pool members; per-member value
+  /// drawn uniformly. The paper's log study sees 40–50 ms medians for
+  /// wired clients of cloud/ISP providers.
+  core::Duration min_base_owd = core::Duration::milliseconds(12);
+  core::Duration max_base_owd = core::Duration::milliseconds(90);
+  /// Relative up/down asymmetry of each member's WAN segment (fractional,
+  /// applied as ±asymmetry/2 around the base).
+  double asymmetry = 0.12;
+  /// Fraction of members at stratum 1 (the rest stratum 2).
+  double stratum1_fraction = 0.35;
+  /// Well-behaved server clock error bound (uniform in ±bound), seconds.
+  double server_offset_bound_s = 400e-6;
+  /// Number of false tickers among the members.
+  std::size_t false_ticker_count = 0;
+  /// Number of members answering everything with a RATE kiss-of-death
+  /// (rate-limiting servers; placed before the false tickers at the end).
+  std::size_t kiss_of_death_count = 0;
+  /// Clock error magnitude of each false ticker, seconds (sign
+  /// alternates).
+  double false_ticker_offset_s = 0.35;
+};
+
+class ServerPool {
+ public:
+  ServerPool(PoolParams params, core::Rng rng);
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+  /// The i-th member's server (stable order; false tickers last).
+  [[nodiscard]] NtpServer& server(std::size_t i) { return *members_[i].server; }
+  [[nodiscard]] const NtpServer& server(std::size_t i) const {
+    return *members_[i].server;
+  }
+
+  /// Endpoint reaching member i with `last_hop_up`/`last_hop_down`
+  /// prepended/appended (the client's access link, e.g. the wireless
+  /// channel). Pass nullptr for a directly-wired client.
+  [[nodiscard]] ServerEndpoint endpoint(std::size_t i, net::Link* last_hop_up,
+                                        net::Link* last_hop_down);
+
+  /// Uniformly random member index (pool DNS rotation).
+  [[nodiscard]] std::size_t pick_index();
+
+  [[nodiscard]] bool is_false_ticker(std::size_t i) const {
+    return members_[i].false_ticker;
+  }
+
+  /// Step every member's clock by `delta_s` — the global, simultaneous
+  /// correction a leap second produces across the public NTP
+  /// infrastructure.
+  void adjust_all_clocks(double delta_s) {
+    for (auto& m : members_) m.server->adjust_clock(delta_s);
+  }
+
+ private:
+  struct Member {
+    std::unique_ptr<NtpServer> server;
+    std::unique_ptr<net::WiredLink> wan_up;
+    std::unique_ptr<net::WiredLink> wan_down;
+    bool false_ticker = false;
+  };
+
+  PoolParams params_;
+  core::Rng rng_;
+  std::vector<Member> members_;
+};
+
+}  // namespace mntp::ntp

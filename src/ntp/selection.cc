@@ -1,0 +1,129 @@
+#include "ntp/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mntp::ntp {
+
+std::vector<std::size_t> select_truechimers(
+    const std::vector<PeerEstimate>& peers) {
+  const std::size_t n = peers.size();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+
+  // Endpoint list: (value, type) with type +1 for a lower endpoint and
+  // -1 for an upper endpoint.
+  struct Edge {
+    double value;
+    int type;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * n);
+  for (const PeerEstimate& p : peers) {
+    const double o = p.offset.to_seconds();
+    const double r = std::max(p.root_distance().to_seconds(), 1e-9);
+    edges.push_back({o - r, +1});
+    edges.push_back({o + r, -1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.type > b.type;  // lower endpoints first at ties
+  });
+
+  // Find the smallest number of falsetickers f such that an intersection
+  // covered by at least n - f intervals exists (RFC 5905 fig. "selection
+  // algorithm"); then collect the peers whose intervals cover it.
+  for (std::size_t f = 0; f < (n + 1) / 2; ++f) {
+    const int need = static_cast<int>(n - f);
+    int depth = 0;
+    double lo = 0.0, hi = 0.0;
+    bool found_lo = false, found_hi = false;
+    for (const Edge& e : edges) {
+      depth += e.type;
+      if (!found_lo && depth >= need) {
+        lo = e.value;
+        found_lo = true;
+      }
+    }
+    depth = 0;
+    for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+      depth -= it->type;
+      if (!found_hi && depth >= need) {
+        hi = it->value;
+        found_hi = true;
+      }
+    }
+    if (found_lo && found_hi && lo <= hi) {
+      std::vector<std::size_t> out;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double o = peers[i].offset.to_seconds();
+        const double r = std::max(peers[i].root_distance().to_seconds(), 1e-9);
+        // A truechimer's interval overlaps the intersection interval.
+        if (o - r <= hi && o + r >= lo) out.push_back(i);
+      }
+      if (out.size() >= n - f) return out;
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// RMS offset distance from survivor `i` to the other survivors.
+double selection_jitter(const std::vector<PeerEstimate>& peers,
+                        const std::vector<std::size_t>& survivors,
+                        std::size_t i) {
+  double acc = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t j : survivors) {
+    if (j == i) continue;
+    const double d =
+        (peers[i].offset - peers[j].offset).to_seconds();
+    acc += d * d;
+    ++terms;
+  }
+  return terms ? std::sqrt(acc / static_cast<double>(terms)) : 0.0;
+}
+
+}  // namespace
+
+std::vector<std::size_t> cluster_survivors(
+    const std::vector<PeerEstimate>& peers, std::vector<std::size_t> candidates,
+    const ClusterParams& params) {
+  while (candidates.size() > std::max<std::size_t>(params.min_survivors, 1)) {
+    // Max selection jitter vs min peer jitter.
+    double max_sel = -1.0;
+    std::size_t worst_pos = 0;
+    double min_peer_jitter = 1e18;
+    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+      const double sel = selection_jitter(peers, candidates, candidates[pos]);
+      if (sel > max_sel) {
+        max_sel = sel;
+        worst_pos = pos;
+      }
+      min_peer_jitter = std::min(min_peer_jitter, peers[candidates[pos]].jitter_s);
+    }
+    if (max_sel <= min_peer_jitter) break;  // pruning no longer helps
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(worst_pos));
+  }
+  return candidates;
+}
+
+core::Duration combine_offsets(const std::vector<PeerEstimate>& peers,
+                               const std::vector<std::size_t>& survivors) {
+  if (survivors.empty()) {
+    throw std::invalid_argument("combine_offsets: empty survivor set");
+  }
+  double weight_sum = 0.0;
+  double acc = 0.0;
+  for (std::size_t i : survivors) {
+    const double dist = std::max(peers[i].root_distance().to_seconds(), 1e-6);
+    const double w = 1.0 / dist;
+    weight_sum += w;
+    acc += w * peers[i].offset.to_seconds();
+  }
+  return core::Duration::from_seconds(acc / weight_sum);
+}
+
+}  // namespace mntp::ntp

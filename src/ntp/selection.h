@@ -1,0 +1,48 @@
+// NTP mitigation algorithms: selection (intersection), clustering, and
+// combining (RFC 5905 §11.2), as standalone testable functions.
+//
+// Selection implements Marzullo's intersection algorithm as adapted by
+// NTP: each peer asserts its true offset lies in
+// [offset - rootdist, offset + rootdist]; the algorithm finds the largest
+// group of peers whose intervals share a common intersection, tolerating
+// up to f < n/2 false tickers. Clustering then prunes statistical
+// outliers by "selection jitter", and combining produces the final offset
+// as a root-distance-weighted average. The paper's warm-up heuristic
+// ("classify the time sources whose offsets exceed the mean plus one
+// standard deviation as false tickers") is the lightweight cousin of
+// this machinery; we implement both so benches can compare them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/time.h"
+#include "ntp/clock_filter.h"
+
+namespace mntp::ntp {
+
+/// Indices (into the input vector) of peers surviving the intersection
+/// algorithm — the "truechimers". Empty when no majority clique exists.
+[[nodiscard]] std::vector<std::size_t> select_truechimers(
+    const std::vector<PeerEstimate>& peers);
+
+struct ClusterParams {
+  /// Keep at least this many survivors (RFC 5905 NMIN..CMIN family).
+  std::size_t min_survivors = 3;
+};
+
+/// Iteratively removes the survivor with the largest selection jitter
+/// (RMS offset distance to the other survivors) while that jitter exceeds
+/// the smallest peer jitter and more than `min_survivors` remain.
+/// Input/output are indices into `peers`.
+[[nodiscard]] std::vector<std::size_t> cluster_survivors(
+    const std::vector<PeerEstimate>& peers, std::vector<std::size_t> candidates,
+    const ClusterParams& params = {});
+
+/// Combine survivor offsets weighted by inverse root distance; returns
+/// the system offset. Requires a non-empty survivor set.
+[[nodiscard]] core::Duration combine_offsets(
+    const std::vector<PeerEstimate>& peers,
+    const std::vector<std::size_t>& survivors);
+
+}  // namespace mntp::ntp

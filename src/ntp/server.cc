@@ -1,0 +1,67 @@
+#include "ntp/server.h"
+
+#include <utility>
+
+namespace mntp::ntp {
+
+NtpServer::NtpServer(std::string name, NtpServerParams params, core::Rng rng)
+    : name_(std::move(name)), params_(params), rng_(std::move(rng)) {}
+
+double NtpServer::clock_error_at(core::TimePoint t) const {
+  return params_.clock_offset_s + params_.clock_skew_ppm * 1e-6 * t.to_seconds();
+}
+
+core::TimePoint NtpServer::server_time(core::TimePoint t) const {
+  return t + core::Duration::from_seconds(clock_error_at(t));
+}
+
+core::Result<NtpServer::Reply> NtpServer::handle(
+    std::span<const std::uint8_t> wire, core::TimePoint arrival) {
+  auto parsed = NtpPacket::parse(wire);
+  if (!parsed.ok()) return parsed.error();
+  const NtpPacket& req = parsed.value();
+  if (req.mode != Mode::kClient) {
+    return core::Error::malformed("server received non-client-mode packet");
+  }
+
+  ++served_;
+  const core::Duration processing = core::Duration::from_seconds(
+      rng_.exponential(params_.processing_mean.to_seconds()));
+  const core::TimePoint departs = arrival + processing;
+
+  NtpPacket reply;
+  reply.leap = LeapIndicator::kNoWarning;
+  reply.version = req.version;
+  reply.mode = Mode::kServer;
+  if (params_.kiss_of_death) {
+    reply.stratum = 0;
+    reply.reference_id = kiss_code("RATE");
+  } else {
+    reply.stratum = params_.stratum;
+    reply.reference_id = params_.reference_id;
+  }
+  reply.poll = req.poll;
+  reply.precision = -23;  // ~119 ns, typical of a GPS-disciplined server
+  reply.root_delay = core::NtpShort::from_duration(params_.root_delay);
+  reply.root_dispersion = core::NtpShort::from_duration(params_.root_dispersion);
+  // Reference timestamp: pretend the server re-synced to its upstream a
+  // little while ago.
+  reply.reference_ts =
+      core::NtpTimestamp::from_time_point(server_time(arrival) -
+                                          core::Duration::seconds(16));
+  reply.origin_ts = req.transmit_ts;
+  reply.receive_ts = core::NtpTimestamp::from_time_point(server_time(arrival));
+  reply.transmit_ts = core::NtpTimestamp::from_time_point(server_time(departs));
+  return Reply{.packet = reply, .departs = departs};
+}
+
+NtpServerParams NtpServer::false_ticker(double offset_s, double skew_ppm) {
+  NtpServerParams p;
+  p.stratum = 2;
+  p.reference_id = 0x46414c53;  // "FALS"
+  p.clock_offset_s = offset_s;
+  p.clock_skew_ppm = skew_ppm;
+  return p;
+}
+
+}  // namespace mntp::ntp

@@ -1,0 +1,82 @@
+// Simulated NTP stratum server.
+//
+// A server owns its own clock — near-perfect for well-behaved stratum 1/2
+// servers, deliberately wrong for *false tickers* (the paper's warm-up
+// phase rejects sources "whose offsets exceed the mean plus one standard
+// deviation", following NTP's selection heuristic). On a request it
+// stamps receive/transmit times from its clock, echoes the origin, and
+// answers after a small processing delay — exactly the observable
+// behaviour of a real pool server.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/result.h"
+#include "core/rng.h"
+#include "core/time.h"
+#include "ntp/packet.h"
+
+namespace mntp::ntp {
+
+struct NtpServerParams {
+  std::uint8_t stratum = 2;
+  std::uint32_t reference_id = 0x47505300;  // "GPS\0"
+  /// Mean request-handling time (exponentially distributed).
+  core::Duration processing_mean = core::Duration::microseconds(250);
+  /// Server clock error at t=0 (server - true), seconds. Well-behaved
+  /// servers are within a few hundred microseconds of true time.
+  double clock_offset_s = 0.0;
+  /// Server clock frequency error, ppm (false tickers may drift).
+  double clock_skew_ppm = 0.0;
+  /// Root delay/dispersion advertised in replies.
+  core::Duration root_delay = core::Duration::milliseconds(8);
+  core::Duration root_dispersion = core::Duration::milliseconds(4);
+  /// When true the server answers every request with a RATE kiss-of-death
+  /// (used in robustness tests).
+  bool kiss_of_death = false;
+};
+
+class NtpServer {
+ public:
+  NtpServer(std::string name, NtpServerParams params, core::Rng rng);
+
+  struct Reply {
+    NtpPacket packet;
+    /// True time at which the reply leaves the server.
+    core::TimePoint departs;
+  };
+
+  /// Handle a request that arrived (true time) at `arrival`. Fails on
+  /// malformed wire bytes or non-client mode.
+  core::Result<Reply> handle(std::span<const std::uint8_t> wire,
+                             core::TimePoint arrival);
+
+  /// Server clock reading (server-local time) at true time t.
+  [[nodiscard]] core::TimePoint server_time(core::TimePoint t) const;
+
+  /// Server clock error (server - true) at true time t, seconds.
+  [[nodiscard]] double clock_error_at(core::TimePoint t) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const NtpServerParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+  /// Step this server's clock by `delta_s` (operator action: leap-second
+  /// insertion steps every UTC-tracking server by -1 s simultaneously;
+  /// see the leap-second robustness tests).
+  void adjust_clock(double delta_s) { params_.clock_offset_s += delta_s; }
+
+  /// Convenience factory for a false ticker: a server whose clock is off
+  /// by `offset_s` seconds (and optionally drifting).
+  static NtpServerParams false_ticker(double offset_s, double skew_ppm = 0.0);
+
+ private:
+  std::string name_;
+  NtpServerParams params_;
+  core::Rng rng_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace mntp::ntp

@@ -1,0 +1,38 @@
+#include "ntp/sntp.h"
+
+namespace mntp::ntp {
+
+core::Duration SntpExchange::offset() const {
+  const core::Duration a = t2 - t1;
+  const core::Duration b = t3 - t4;
+  return (a + b) / 2;
+}
+
+core::Duration SntpExchange::delay() const {
+  return (t4 - t1) - (t3 - t2);
+}
+
+core::Status validate_sntp_response(const NtpPacket& reply,
+                                    core::NtpTimestamp our_transmit) {
+  if (reply.mode != Mode::kServer && reply.mode != Mode::kSymmetricPassive) {
+    return core::Error::malformed("reply mode is not server");
+  }
+  if (reply.is_kiss_of_death()) {
+    return core::Error::kiss_of_death("kiss-of-death from server");
+  }
+  if (reply.stratum > 15) {
+    return core::Error::malformed("invalid stratum in reply");
+  }
+  if (reply.leap == LeapIndicator::kUnsynchronized) {
+    return core::Error::unavailable("server unsynchronized (LI=3)");
+  }
+  if (reply.transmit_ts.is_unset()) {
+    return core::Error::malformed("zero transmit timestamp in reply");
+  }
+  if (reply.origin_ts != our_transmit) {
+    return core::Error::malformed("origin timestamp does not echo request (bogus)");
+  }
+  return {};
+}
+
+}  // namespace mntp::ntp

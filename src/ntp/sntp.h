@@ -1,0 +1,52 @@
+// SNTP sample arithmetic and sanity checks (RFC 4330).
+//
+// Given the four timestamps of a request/response exchange —
+//   T1 origin (client send), T2 receive (server), T3 transmit (server),
+//   T4 destination (client receive) —
+// the clock offset and round-trip delay are
+//   offset = ((T2 - T1) + (T3 - T4)) / 2
+//   delay  = (T4 - T1) - (T3 - T2).
+// A positive offset means the server clock is ahead of the client's; an
+// SNTP client corrects by adding the offset to its clock. On a perfectly
+// synchronized client, offset equals half the path asymmetry — which is
+// why lossy, bursty wireless hops translate directly into offset error.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ntp_timestamp.h"
+#include "core/result.h"
+#include "core/time.h"
+#include "ntp/packet.h"
+
+namespace mntp::ntp {
+
+/// The four-timestamp exchange plus response metadata.
+struct SntpExchange {
+  core::NtpTimestamp t1;  ///< client transmit (origin)
+  core::NtpTimestamp t2;  ///< server receive
+  core::NtpTimestamp t3;  ///< server transmit
+  core::NtpTimestamp t4;  ///< client receive (destination)
+
+  [[nodiscard]] core::Duration offset() const;
+  [[nodiscard]] core::Duration delay() const;
+};
+
+/// One accepted measurement: the exchange result plus server identity,
+/// recorded at completion time. This is the unit MNTP's filter consumes.
+struct SntpSample {
+  core::Duration offset;
+  core::Duration delay;
+  std::uint8_t server_stratum = 0;
+  std::uint32_t server_id = 0;
+  core::TimePoint completed_at;  ///< true (simulation) time of T4 arrival
+};
+
+/// RFC 4330 §5 response sanity checks, applied before a reply is used:
+/// the reply must be a server-mode packet whose origin echoes our request
+/// transmit timestamp, with a nonzero transmit timestamp, a usable
+/// stratum (1..15), and no kiss-of-death / unsynchronized leap.
+core::Status validate_sntp_response(const NtpPacket& reply,
+                                    core::NtpTimestamp our_transmit);
+
+}  // namespace mntp::ntp

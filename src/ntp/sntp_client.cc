@@ -1,0 +1,78 @@
+#include "ntp/sntp_client.h"
+
+#include <algorithm>
+
+namespace mntp::ntp {
+
+SntpClient::SntpClient(sim::Simulation& sim, sim::DisciplinedClock& clock,
+                       ServerPool& pool, net::Link* last_hop_up,
+                       net::Link* last_hop_down, SntpClientPolicy policy,
+                       QueryOptions query_options)
+    : sim_(sim),
+      clock_(clock),
+      pool_(pool),
+      last_hop_up_(last_hop_up),
+      last_hop_down_(last_hop_down),
+      policy_(policy),
+      query_options_(query_options),
+      engine_(sim, clock),
+      process_(sim, policy.poll_interval, [this] { poll_once(); }),
+      current_poll_(policy.poll_interval) {}
+
+void SntpClient::start() { process_.start(); }
+void SntpClient::stop() { process_.stop(); }
+
+void SntpClient::poll_once() {
+  ++polls_;
+  attempt(policy_.retries);
+}
+
+void SntpClient::attempt(int attempts_left) {
+  const std::size_t idx = pool_.pick_index();
+  const ServerEndpoint ep = pool_.endpoint(idx, last_hop_up_, last_hop_down_);
+  engine_.query(ep, query_options_,
+                [this, attempts_left](core::Result<SntpSample> result) {
+                  handle(std::move(result), attempts_left);
+                });
+}
+
+void SntpClient::handle(core::Result<SntpSample> result, int attempts_left) {
+  if (!result.ok()) {
+    if (policy_.honor_kiss_of_death &&
+        result.error().code == core::Error::Code::kKissOfDeath) {
+      // RFC 4330 §10: a KoD demands rate reduction — back off, no retry.
+      ++kod_backoffs_;
+      current_poll_ = std::min(policy_.max_poll_interval,
+                               current_poll_.scaled(policy_.kod_backoff_factor));
+      process_.set_interval(current_poll_);
+      ++failures_;
+      return;
+    }
+    if (attempts_left > 0) {
+      sim_.after(policy_.retry_gap,
+                 [this, attempts_left] { attempt(attempts_left - 1); });
+    } else {
+      ++failures_;
+    }
+    return;
+  }
+  SntpSample sample = std::move(result).take();
+  samples_.push_back(sample);
+  if (on_sample_) on_sample_(sample);
+
+  if (policy_.update_clock &&
+      sample.offset.abs() >= policy_.update_threshold) {
+    // SNTP semantics: trust the single sample, step the clock by it.
+    clock_.step(sample.offset);
+    ++clock_updates_;
+  }
+}
+
+std::vector<double> SntpClient::offsets_ms() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const SntpSample& s : samples_) out.push_back(s.offset.to_millis());
+  return out;
+}
+
+}  // namespace mntp::ntp

@@ -1,0 +1,100 @@
+#include "ntp/transport.h"
+
+#include <utility>
+
+namespace mntp::ntp {
+
+namespace {
+
+/// Per-exchange state kept alive by shared_ptr across the event chain.
+struct Exchange {
+  QueryEngine::Callback callback;
+  sim::EventHandle timeout_event;
+  bool settled = false;
+
+  void settle(core::Result<SntpSample> result) {
+    if (settled) return;
+    settled = true;
+    timeout_event.cancel();
+    callback(std::move(result));
+  }
+};
+
+}  // namespace
+
+QueryEngine::QueryEngine(sim::Simulation& sim, sim::DisciplinedClock& clock)
+    : sim_(sim), clock_(clock) {}
+
+void QueryEngine::query(const ServerEndpoint& endpoint,
+                        const QueryOptions& options, Callback callback) {
+  ++sent_;
+  auto ex = std::make_shared<Exchange>();
+  ex->callback = std::move(callback);
+
+  const core::TimePoint send_true = sim_.now();
+  const core::NtpTimestamp t1 =
+      core::NtpTimestamp::from_time_point(clock_.local_time(send_true));
+  const NtpPacket request =
+      options.sntp_style
+          ? NtpPacket::make_sntp_request(t1)
+          : NtpPacket::make_ntp_request(t1, /*poll_exponent=*/4,
+                                        core::NtpTimestamp::unset());
+  const auto request_bytes = request.to_bytes();
+
+  ex->timeout_event = sim_.after(options.timeout, [this, ex] {
+    ++timeouts_;
+    ex->settle(core::Error::timeout("no NTP reply within timeout"));
+  });
+
+  NtpServer* server = endpoint.server;
+  const net::LinkPath down = endpoint.down;
+  const std::size_t wire_bytes = options.wire_bytes;
+
+  // Packet loss in either direction is not observable by a real client;
+  // the timeout event fires in that case (no on_drop handler needed).
+  net::send_datagram(
+      sim_, endpoint.up, wire_bytes,
+      [this, ex, server, down, request_bytes, t1,
+       wire_bytes](core::TimePoint arrival) {
+        auto reply = server->handle(request_bytes, arrival);
+        if (!reply.ok()) {
+          ex->settle(reply.error());
+          return;
+        }
+        const NtpPacket reply_packet = reply.value().packet;
+        const auto reply_bytes = reply_packet.to_bytes();
+        // The reply leaves after the server's processing delay.
+        sim_.at(reply.value().departs, [this, ex, down, reply_bytes, t1,
+                                        wire_bytes] {
+          net::send_datagram(
+              sim_, down, wire_bytes,
+              [this, ex, reply_bytes, t1](core::TimePoint t4_true) {
+                auto parsed = NtpPacket::parse(reply_bytes);
+                if (!parsed.ok()) {
+                  ex->settle(parsed.error());
+                  return;
+                }
+                const NtpPacket& p = parsed.value();
+                if (const core::Status s = validate_sntp_response(p, t1);
+                    !s.ok()) {
+                  ex->settle(s.error());
+                  return;
+                }
+                ++received_;
+                const core::NtpTimestamp t4 = core::NtpTimestamp::from_time_point(
+                    clock_.local_time(t4_true));
+                const SntpExchange xchg{
+                    .t1 = t1, .t2 = p.receive_ts, .t3 = p.transmit_ts, .t4 = t4};
+                ex->settle(SntpSample{
+                    .offset = xchg.offset(),
+                    .delay = xchg.delay(),
+                    .server_stratum = p.stratum,
+                    .server_id = p.reference_id,
+                    .completed_at = t4_true,
+                });
+              });
+        });
+      });
+}
+
+}  // namespace mntp::ntp

@@ -1,0 +1,27 @@
+#include "ptp/clock_servo.h"
+
+#include <algorithm>
+
+namespace mntp::ptp {
+
+ClockServo::ClockServo(sim::DisciplinedClock& clock, ServoParams params)
+    : clock_(clock), params_(params) {}
+
+void ClockServo::update(core::TimePoint t, core::Duration offset,
+                        core::Duration interval) {
+  ++updates_;
+  // offset = slave - master: correct by subtracting.
+  if (offset.abs() >= params_.step_threshold) {
+    clock_.step(-offset);
+    ++steps_;
+    return;
+  }
+  clock_.step(-offset.scaled(params_.kp));
+  const double interval_s = std::max(interval.to_seconds(), 1e-3);
+  freq_ppm_ += -params_.ki * offset.to_seconds() / interval_s * 1e6;
+  freq_ppm_ = std::clamp(freq_ppm_, -params_.max_frequency_ppm,
+                         params_.max_frequency_ppm);
+  clock_.set_frequency_compensation(t, freq_ppm_);
+}
+
+}  // namespace mntp::ptp

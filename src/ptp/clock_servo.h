@@ -1,0 +1,46 @@
+// PTP slave clock servo: the PI controller that turns measured offsets
+// into phase/frequency corrections (the ptp4l-style servo).
+//
+// Standalone and purely numeric so it is unit-testable without the
+// protocol machinery: feed (offset, interval) observations, get back the
+// step/slew decisions applied to a DisciplinedClock.
+#pragma once
+
+#include "core/time.h"
+#include "sim/clock_model.h"
+
+namespace mntp::ptp {
+
+struct ServoParams {
+  /// Offsets above this magnitude step the clock instead of slewing.
+  core::Duration step_threshold = core::Duration::milliseconds(20);
+  /// Proportional gain on the phase error.
+  double kp = 0.7;
+  /// Integral gain feeding the frequency estimate, per update.
+  double ki = 0.3;
+  /// Frequency adjustment clamp, ppm.
+  double max_frequency_ppm = 500.0;
+};
+
+class ClockServo {
+ public:
+  ClockServo(sim::DisciplinedClock& clock, ServoParams params = {});
+
+  /// Apply one measured offset (slave - master, so a positive offset
+  /// means the slave is ahead and must slow down) observed at true time
+  /// t with `interval` since the previous sample.
+  void update(core::TimePoint t, core::Duration offset, core::Duration interval);
+
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+  [[nodiscard]] std::size_t updates() const { return updates_; }
+  [[nodiscard]] double frequency_ppm() const { return freq_ppm_; }
+
+ private:
+  sim::DisciplinedClock& clock_;
+  ServoParams params_;
+  double freq_ppm_ = 0.0;
+  std::size_t steps_ = 0;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace mntp::ptp

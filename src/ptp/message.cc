@@ -1,0 +1,136 @@
+#include "ptp/message.h"
+
+namespace mntp::ptp {
+
+namespace {
+
+void put_u16(std::span<std::uint8_t> out, std::size_t at, std::uint16_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 8);
+  out[at + 1] = static_cast<std::uint8_t>(v);
+}
+
+void put_u32(std::span<std::uint8_t> out, std::size_t at, std::uint32_t v) {
+  put_u16(out, at, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, at + 2, static_cast<std::uint16_t>(v));
+}
+
+void put_u48(std::span<std::uint8_t> out, std::size_t at, std::uint64_t v) {
+  put_u16(out, at, static_cast<std::uint16_t>(v >> 32));
+  put_u32(out, at + 2, static_cast<std::uint32_t>(v));
+}
+
+void put_u64(std::span<std::uint8_t> out, std::size_t at, std::uint64_t v) {
+  put_u32(out, at, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, at + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint32_t>(get_u16(in, at)) << 16) | get_u16(in, at + 2);
+}
+
+std::uint64_t get_u48(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint64_t>(get_u16(in, at)) << 32) | get_u32(in, at + 2);
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint64_t>(get_u32(in, at)) << 32) | get_u32(in, at + 4);
+}
+
+}  // namespace
+
+PtpTimestamp PtpTimestamp::from_time_point(core::TimePoint t) {
+  std::int64_t ns = t.ns();
+  std::int64_t sec = ns / 1'000'000'000;
+  std::int64_t rem = ns % 1'000'000'000;
+  if (rem < 0) {
+    sec -= 1;
+    rem += 1'000'000'000;
+  }
+  return PtpTimestamp{
+      .seconds = kSimEpochPtpSeconds + static_cast<std::uint64_t>(sec),
+      .nanoseconds = static_cast<std::uint32_t>(rem)};
+}
+
+core::TimePoint PtpTimestamp::to_time_point() const {
+  const auto sec = static_cast<std::int64_t>(seconds) -
+                   static_cast<std::int64_t>(kSimEpochPtpSeconds);
+  return core::TimePoint::from_ns(sec * 1'000'000'000 +
+                                  static_cast<std::int64_t>(nanoseconds));
+}
+
+core::Duration PtpTimestamp::operator-(const PtpTimestamp& o) const {
+  const auto ds = static_cast<std::int64_t>(seconds) -
+                  static_cast<std::int64_t>(o.seconds);
+  const auto dn = static_cast<std::int64_t>(nanoseconds) -
+                  static_cast<std::int64_t>(o.nanoseconds);
+  return core::Duration::nanoseconds(ds * 1'000'000'000 + dn);
+}
+
+void PtpMessage::serialize(std::span<std::uint8_t, kWireSize> out) const {
+  for (auto& b : out) b = 0;
+  out[0] = static_cast<std::uint8_t>(static_cast<unsigned>(type) & 0x0FU);
+  out[1] = kVersion;
+  put_u16(out, 2, kWireSize);
+  out[4] = domain;
+  put_u64(out, 20, clock_identity);
+  put_u16(out, 28, port_number);
+  put_u16(out, 30, sequence_id);
+  // controlField mirrors the message type for the legacy field.
+  out[32] = static_cast<std::uint8_t>(static_cast<unsigned>(type) & 0x0FU);
+  out[33] = static_cast<std::uint8_t>(log_message_interval);
+  put_u48(out, 34, timestamp.seconds);
+  put_u32(out, 40, timestamp.nanoseconds);
+}
+
+std::array<std::uint8_t, PtpMessage::kWireSize> PtpMessage::to_bytes() const {
+  std::array<std::uint8_t, kWireSize> buf{};
+  serialize(buf);
+  return buf;
+}
+
+core::Result<PtpMessage> PtpMessage::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kWireSize) {
+    return core::Error::malformed("PTP message shorter than 44 bytes");
+  }
+  PtpMessage m;
+  const auto raw_type = static_cast<std::uint8_t>(in[0] & 0x0FU);
+  switch (raw_type) {
+    case 0x0: m.type = MessageType::kSync; break;
+    case 0x1: m.type = MessageType::kDelayReq; break;
+    case 0x8: m.type = MessageType::kFollowUp; break;
+    case 0x9: m.type = MessageType::kDelayResp; break;
+    default:
+      return core::Error::malformed("unsupported PTP message type");
+  }
+  if (in[1] != kVersion) {
+    return core::Error::malformed("unsupported PTP version");
+  }
+  if (get_u16(in, 2) < kWireSize) {
+    return core::Error::malformed("inconsistent PTP messageLength");
+  }
+  m.domain = in[4];
+  m.clock_identity = get_u64(in, 20);
+  m.port_number = get_u16(in, 28);
+  m.sequence_id = get_u16(in, 30);
+  m.log_message_interval = static_cast<std::int8_t>(in[33]);
+  m.timestamp.seconds = get_u48(in, 34);
+  m.timestamp.nanoseconds = get_u32(in, 40);
+  if (m.timestamp.nanoseconds >= 1'000'000'000U) {
+    return core::Error::malformed("PTP timestamp nanoseconds out of range");
+  }
+  return m;
+}
+
+core::Duration PtpExchange::offset_from_master() const {
+  return ((t2 - t1) - (t4 - t3)) / 2;
+}
+
+core::Duration PtpExchange::mean_path_delay() const {
+  return ((t2 - t1) + (t4 - t3)) / 2;
+}
+
+}  // namespace mntp::ptp

@@ -1,0 +1,86 @@
+// PTP (IEEE 1588-2008) message subset.
+//
+// The paper's background (§2) places PTP alongside NTP and SNTP as the
+// third synchronization protocol in deployment; it targets LANs where
+// hardware or near-hardware timestamping makes sub-microsecond sync
+// feasible. We implement the two-step, end-to-end delay mechanism —
+// Sync / Follow_Up / Delay_Req / Delay_Resp — over the simulated LAN so
+// the comparison benches can place all three protocol families side by
+// side.
+//
+// Wire format (the subset of the 34-byte common header we need, plus the
+// 10-byte PTP timestamp body):
+//   0  messageType (4 bits) | transportSpecific (4 bits)
+//   1  versionPTP
+//   2  messageLength (16 bits, big endian)
+//   4  domainNumber
+//   5..19  flags/correction/reserved (zeroed here)
+//   20..27 sourcePortIdentity (clockIdentity, 8 bytes)
+//   28..29 sourcePortIdentity (portNumber)
+//   30..31 sequenceId
+//   32  controlField
+//   33  logMessageInterval
+//   34..43 timestamp: 48-bit seconds + 32-bit nanoseconds
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "core/result.h"
+#include "core/time.h"
+
+namespace mntp::ptp {
+
+enum class MessageType : std::uint8_t {
+  kSync = 0x0,
+  kDelayReq = 0x1,
+  kFollowUp = 0x8,
+  kDelayResp = 0x9,
+};
+
+/// PTP timestamp: 48-bit seconds since the PTP epoch, 32-bit nanoseconds.
+struct PtpTimestamp {
+  std::uint64_t seconds = 0;  // only low 48 bits are representable
+  std::uint32_t nanoseconds = 0;
+
+  static PtpTimestamp from_time_point(core::TimePoint t);
+  [[nodiscard]] core::TimePoint to_time_point() const;
+  [[nodiscard]] core::Duration operator-(const PtpTimestamp& o) const;
+  bool operator==(const PtpTimestamp&) const = default;
+};
+
+/// Seconds offset placing the simulation epoch into the PTP timescale.
+inline constexpr std::uint64_t kSimEpochPtpSeconds = 1'200'000'000ULL;
+
+struct PtpMessage {
+  static constexpr std::size_t kWireSize = 44;
+  static constexpr std::uint8_t kVersion = 2;
+
+  MessageType type = MessageType::kSync;
+  std::uint8_t domain = 0;
+  std::uint64_t clock_identity = 0;
+  std::uint16_t port_number = 1;
+  std::uint16_t sequence_id = 0;
+  std::int8_t log_message_interval = 0;
+  PtpTimestamp timestamp;  // meaning depends on type
+
+  void serialize(std::span<std::uint8_t, kWireSize> out) const;
+  [[nodiscard]] std::array<std::uint8_t, kWireSize> to_bytes() const;
+  static core::Result<PtpMessage> parse(std::span<const std::uint8_t> in);
+};
+
+/// The two-step E2E offset/delay computation:
+///   t1 master Sync departure (from Follow_Up), t2 slave Sync arrival,
+///   t3 slave Delay_Req departure, t4 master Delay_Req arrival
+///   (from Delay_Resp).
+/// offset(slave - master) = ((t2 - t1) - (t4 - t3)) / 2
+/// meanPathDelay          = ((t2 - t1) + (t4 - t3)) / 2
+struct PtpExchange {
+  PtpTimestamp t1, t2, t3, t4;
+
+  [[nodiscard]] core::Duration offset_from_master() const;
+  [[nodiscard]] core::Duration mean_path_delay() const;
+};
+
+}  // namespace mntp::ptp

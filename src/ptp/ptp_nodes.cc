@@ -1,0 +1,171 @@
+#include "ptp/ptp_nodes.h"
+
+namespace mntp::ptp {
+
+namespace {
+
+/// Apply capture jitter to a clock reading.
+PtpTimestamp noisy(core::TimePoint local, double noise_s, core::Rng& rng) {
+  return PtpTimestamp::from_time_point(
+      local + core::Duration::from_seconds(rng.normal(0.0, noise_s)));
+}
+
+}  // namespace
+
+PtpMaster::PtpMaster(sim::Simulation& sim, PtpMasterParams params,
+                     core::Rng rng)
+    : sim_(sim),
+      params_(params),
+      rng_(std::move(rng)),
+      sync_process_(sim, params.sync_interval, [this] { send_sync(); }) {}
+
+void PtpMaster::attach(PtpSlave& slave, net::LinkPath to_slave,
+                       net::LinkPath from_slave) {
+  slave_ = &slave;
+  to_slave_ = std::move(to_slave);
+  from_slave_ = std::move(from_slave);
+  slave.attach_master(*this, from_slave_);
+}
+
+void PtpMaster::start() { sync_process_.start(); }
+void PtpMaster::stop() { sync_process_.stop(); }
+
+PtpTimestamp PtpMaster::capture_timestamp(core::TimePoint t) {
+  const core::TimePoint master_local =
+      t + core::Duration::from_seconds(params_.clock_offset_s +
+                                       params_.clock_skew_ppm * 1e-6 *
+                                           t.to_seconds());
+  return noisy(master_local, params_.timestamp_noise_s, rng_);
+}
+
+void PtpMaster::send_sync() {
+  if (slave_ == nullptr) return;
+  const std::uint16_t seq = ++seq_;
+
+  // Two-step: Sync carries no timestamp; the PHY captures the precise
+  // departure time t1, which Follow_Up then conveys.
+  PtpMessage sync;
+  sync.type = MessageType::kSync;
+  sync.clock_identity = params_.clock_identity;
+  sync.sequence_id = seq;
+  const PtpTimestamp t1 = capture_timestamp(sim_.now());
+  net::send_datagram(sim_, to_slave_, PtpMessage::kWireSize,
+                     [this, wire = sync.to_bytes()](core::TimePoint arrival) {
+                       slave_->deliver(wire, arrival);
+                     });
+
+  PtpMessage follow_up;
+  follow_up.type = MessageType::kFollowUp;
+  follow_up.clock_identity = params_.clock_identity;
+  follow_up.sequence_id = seq;
+  follow_up.timestamp = t1;
+  net::send_datagram(sim_, to_slave_, PtpMessage::kWireSize,
+                     [this, wire = follow_up.to_bytes()](core::TimePoint arrival) {
+                       slave_->deliver(wire, arrival);
+                     });
+}
+
+void PtpMaster::deliver(std::array<std::uint8_t, PtpMessage::kWireSize> wire,
+                        core::TimePoint arrival) {
+  const auto parsed = PtpMessage::parse(wire);
+  if (!parsed.ok() || parsed.value().type != MessageType::kDelayReq) return;
+  if (slave_ == nullptr) return;
+
+  PtpMessage resp;
+  resp.type = MessageType::kDelayResp;
+  resp.clock_identity = params_.clock_identity;
+  resp.sequence_id = parsed.value().sequence_id;
+  resp.timestamp = capture_timestamp(arrival);  // t4
+  net::send_datagram(sim_, to_slave_, PtpMessage::kWireSize,
+                     [this, wire2 = resp.to_bytes()](core::TimePoint at) {
+                       slave_->deliver(wire2, at);
+                     });
+}
+
+PtpSlave::PtpSlave(sim::Simulation& sim, sim::DisciplinedClock& clock,
+                   PtpSlaveParams params, core::Rng rng)
+    : sim_(sim),
+      clock_(clock),
+      params_(params),
+      rng_(std::move(rng)),
+      servo_(clock, params.servo) {}
+
+void PtpSlave::attach_master(PtpMaster& master, net::LinkPath to_master) {
+  master_ = &master;
+  to_master_ = std::move(to_master);
+}
+
+PtpTimestamp PtpSlave::capture_timestamp(core::TimePoint t) {
+  return noisy(clock_.local_time(t), params_.timestamp_noise_s, rng_);
+}
+
+void PtpSlave::deliver(std::array<std::uint8_t, PtpMessage::kWireSize> wire,
+                       core::TimePoint arrival) {
+  const auto parsed = PtpMessage::parse(wire);
+  if (!parsed.ok()) {
+    ++malformed_;
+    return;
+  }
+  const PtpMessage& m = parsed.value();
+  switch (m.type) {
+    case MessageType::kSync: on_sync(m, arrival); break;
+    case MessageType::kFollowUp: on_follow_up(m); break;
+    case MessageType::kDelayResp: on_delay_resp(m); break;
+    case MessageType::kDelayReq: break;  // not ours to answer
+  }
+}
+
+void PtpSlave::on_sync(const PtpMessage& m, core::TimePoint arrival) {
+  Pending& p = pending_[m.sequence_id];
+  p.t2 = capture_timestamp(arrival);
+  // Follow_Up may have overtaken the Sync (independent queueing on the
+  // path); proceed as soon as both halves are in hand.
+  if (p.t1.has_value()) issue_delay_req(m.sequence_id);
+  // Bound the pending map (lost Follow_Ups / Delay_Resps leak otherwise).
+  while (pending_.size() > 16) pending_.erase(pending_.begin());
+}
+
+void PtpSlave::on_follow_up(const PtpMessage& m) {
+  Pending& p = pending_[m.sequence_id];
+  p.t1 = m.timestamp;
+  if (p.t2.has_value()) issue_delay_req(m.sequence_id);
+}
+
+void PtpSlave::issue_delay_req(std::uint16_t seq) {
+  if (master_ == nullptr) return;
+  PtpMessage req;
+  req.type = MessageType::kDelayReq;
+  req.clock_identity = params_.clock_identity;
+  req.sequence_id = seq;
+  pending_[seq].t3 = capture_timestamp(sim_.now());
+  net::send_datagram(sim_, to_master_, PtpMessage::kWireSize,
+                     [this, wire = req.to_bytes()](core::TimePoint arrival) {
+                       master_->deliver(wire, arrival);
+                     });
+}
+
+void PtpSlave::on_delay_resp(const PtpMessage& m) {
+  auto it = pending_.find(m.sequence_id);
+  if (it == pending_.end()) return;
+  it->second.t4 = m.timestamp;
+  complete(m.sequence_id);
+}
+
+void PtpSlave::complete(std::uint16_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  const Pending& p = it->second;
+  if (!(p.t1 && p.t2 && p.t3 && p.t4)) return;
+
+  const PtpExchange xchg{.t1 = *p.t1, .t2 = *p.t2, .t3 = *p.t3, .t4 = *p.t4};
+  const core::Duration offset = xchg.offset_from_master();
+  offsets_ms_.push_back(offset.to_millis());
+  const core::Duration interval =
+      have_last_update_ ? sim_.now() - last_update_ : core::Duration::seconds(1);
+  servo_.update(sim_.now(), offset, interval);
+  last_update_ = sim_.now();
+  have_last_update_ = true;
+  pending_.erase(it);
+}
+
+}  // namespace mntp::ptp

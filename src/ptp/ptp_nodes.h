@@ -1,0 +1,127 @@
+// PTP master and slave ports (two-step, end-to-end delay mechanism).
+//
+// The master broadcasts Sync/Follow_Up on a fixed cadence and answers
+// Delay_Req with Delay_Resp; the slave assembles (t1,t2,t3,t4) exchanges
+// and drives its clock servo. Timestamping precision is explicit: each
+// captured timestamp carries configurable jitter, letting experiments
+// span hardware-grade (~100 ns) to software-grade (~10 µs) timestamping —
+// the knob that separates PTP-class from NTP-class accuracy on a LAN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <map>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "net/link.h"
+#include "ptp/clock_servo.h"
+#include "ptp/message.h"
+#include "sim/clock_model.h"
+#include "sim/simulation.h"
+
+namespace mntp::ptp {
+
+struct PtpMasterParams {
+  std::uint64_t clock_identity = 0x001A2B3C4D5E6F00ULL;
+  core::Duration sync_interval = core::Duration::seconds(1);
+  /// Master clock error relative to true time (a grandmaster is
+  /// GPS-disciplined: effectively zero).
+  double clock_offset_s = 0.0;
+  double clock_skew_ppm = 0.0;
+  /// Stddev of timestamp capture jitter (hardware PHY timestamping).
+  double timestamp_noise_s = 100e-9;
+};
+
+struct PtpSlaveParams {
+  std::uint64_t clock_identity = 0x00F0E0D0C0B0A000ULL;
+  double timestamp_noise_s = 100e-9;
+  /// Delay_Req is issued after each completed Sync/Follow_Up pair.
+  ServoParams servo;
+};
+
+class PtpSlave;
+
+class PtpMaster {
+ public:
+  PtpMaster(sim::Simulation& sim, PtpMasterParams params, core::Rng rng);
+
+  /// Connect the (single) slave and the duplex paths between the ports.
+  void attach(PtpSlave& slave, net::LinkPath to_slave, net::LinkPath from_slave);
+
+  void start();
+  void stop();
+
+  /// Master clock reading at true time t, with timestamp capture noise.
+  [[nodiscard]] PtpTimestamp capture_timestamp(core::TimePoint t);
+
+  /// Ingress from the slave (Delay_Req).
+  void deliver(std::array<std::uint8_t, PtpMessage::kWireSize> wire,
+               core::TimePoint arrival);
+
+  [[nodiscard]] std::uint16_t syncs_sent() const { return seq_; }
+
+ private:
+  void send_sync();
+
+  sim::Simulation& sim_;
+  PtpMasterParams params_;
+  core::Rng rng_;
+  sim::PeriodicProcess sync_process_;
+  PtpSlave* slave_ = nullptr;
+  net::LinkPath to_slave_;
+  net::LinkPath from_slave_;
+  std::uint16_t seq_ = 0;
+};
+
+class PtpSlave {
+ public:
+  PtpSlave(sim::Simulation& sim, sim::DisciplinedClock& clock,
+           PtpSlaveParams params, core::Rng rng);
+
+  void attach_master(PtpMaster& master, net::LinkPath to_master);
+
+  /// Slave clock reading at true time t, with timestamp capture noise.
+  [[nodiscard]] PtpTimestamp capture_timestamp(core::TimePoint t);
+
+  /// Ingress from the master (Sync / Follow_Up / Delay_Resp).
+  void deliver(std::array<std::uint8_t, PtpMessage::kWireSize> wire,
+               core::TimePoint arrival);
+
+  /// Completed exchanges and the offsets they measured (ms).
+  [[nodiscard]] const std::vector<double>& measured_offsets_ms() const {
+    return offsets_ms_;
+  }
+  [[nodiscard]] std::size_t exchanges_completed() const {
+    return offsets_ms_.size();
+  }
+  [[nodiscard]] const ClockServo& servo() const { return servo_; }
+  [[nodiscard]] std::size_t malformed_dropped() const { return malformed_; }
+
+ private:
+  void on_sync(const PtpMessage& m, core::TimePoint arrival);
+  void on_follow_up(const PtpMessage& m);
+  void on_delay_resp(const PtpMessage& m);
+  void issue_delay_req(std::uint16_t seq);
+  void complete(std::uint16_t seq);
+
+  struct Pending {
+    std::optional<PtpTimestamp> t1, t2, t3, t4;
+  };
+
+  sim::Simulation& sim_;
+  sim::DisciplinedClock& clock_;
+  PtpSlaveParams params_;
+  core::Rng rng_;
+  ClockServo servo_;
+  PtpMaster* master_ = nullptr;
+  net::LinkPath to_master_;
+  std::map<std::uint16_t, Pending> pending_;
+  std::vector<double> offsets_ms_;
+  core::TimePoint last_update_;
+  bool have_last_update_ = false;
+  std::size_t malformed_ = 0;
+};
+
+}  // namespace mntp::ptp

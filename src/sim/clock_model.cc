@@ -1,0 +1,105 @@
+#include "sim/clock_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mntp::sim {
+
+OscillatorModel::OscillatorModel(OscillatorParams params, core::Rng rng)
+    : params_(params), rng_(std::move(rng)), offset_s_(params.initial_offset_s) {
+  if (params_.integration_step <= core::Duration::zero()) {
+    throw std::invalid_argument("OscillatorModel: integration_step must be > 0");
+  }
+  last_temp_ppm_ = temp_skew_ppm(core::TimePoint::epoch());
+}
+
+double OscillatorModel::temp_skew_ppm(core::TimePoint t) const {
+  if (params_.temp_amplitude_ppm == 0.0) return 0.0;
+  const double phase = 2.0 * std::numbers::pi * t.to_seconds() /
+                           params_.temp_period.to_seconds() +
+                       params_.temp_phase_rad;
+  return params_.temp_amplitude_ppm * std::sin(phase);
+}
+
+void OscillatorModel::advance_to(core::TimePoint t) {
+  if (t < last_) {
+    throw std::logic_error("OscillatorModel: time moved backwards");
+  }
+  const double step_s = params_.integration_step.to_seconds();
+  while (last_ < t) {
+    const core::TimePoint next = std::min(t, last_ + params_.integration_step);
+    const double dt = (next - last_).to_seconds();
+    // Trapezoidal integration of the frequency error over [last_, next].
+    const double temp_now = temp_skew_ppm(next);
+    const double freq_ppm =
+        params_.constant_skew_ppm + wander_ppm_ + 0.5 * (last_temp_ppm_ + temp_now);
+    offset_s_ += freq_ppm * 1e-6 * dt;
+    // Random-walk update of the variable skew, full steps only so the
+    // process statistics do not depend on query granularity.
+    if (params_.wander_ppm_per_sqrt_s > 0.0 && dt >= step_s * 0.999) {
+      wander_ppm_ += rng_.normal(0.0, params_.wander_ppm_per_sqrt_s * std::sqrt(dt));
+      wander_ppm_ = std::clamp(wander_ppm_, -params_.wander_clamp_ppm,
+                               params_.wander_clamp_ppm);
+    }
+    last_temp_ppm_ = temp_now;
+    last_ = next;
+  }
+}
+
+double OscillatorModel::offset_at(core::TimePoint t) {
+  advance_to(t);
+  return offset_s_;
+}
+
+double OscillatorModel::read_offset(core::TimePoint t) {
+  const double base = offset_at(t);
+  if (params_.read_noise_s <= 0.0) return base;
+  return base + rng_.normal(0.0, params_.read_noise_s);
+}
+
+core::TimePoint OscillatorModel::local_time(core::TimePoint t) {
+  return t + core::Duration::from_seconds(offset_at(t));
+}
+
+double OscillatorModel::current_skew_ppm() const {
+  return params_.constant_skew_ppm + wander_ppm_ + last_temp_ppm_;
+}
+
+double DisciplinedClock::offset_at(core::TimePoint t) {
+  integrate_comp(t);
+  return osc_.offset_at(t) + corr_s_;
+}
+
+double DisciplinedClock::read_offset(core::TimePoint t) {
+  integrate_comp(t);
+  return osc_.read_offset(t) + corr_s_;
+}
+
+core::TimePoint DisciplinedClock::local_time(core::TimePoint t) {
+  return t + core::Duration::from_seconds(offset_at(t));
+}
+
+void DisciplinedClock::step(core::Duration delta) {
+  corr_s_ += delta.to_seconds();
+  total_stepped_ += delta.abs();
+}
+
+void DisciplinedClock::set_frequency_compensation(core::TimePoint t, double ppm) {
+  integrate_comp(t);
+  comp_ppm_ = ppm;
+}
+
+void DisciplinedClock::integrate_comp(core::TimePoint t) {
+  if (!comp_started_) {
+    comp_since_ = t;
+    comp_started_ = true;
+    return;
+  }
+  if (t > comp_since_) {
+    corr_s_ += comp_ppm_ * 1e-6 * (t - comp_since_).to_seconds();
+    comp_since_ = t;
+  }
+}
+
+}  // namespace mntp::sim

@@ -1,0 +1,129 @@
+// Local clock models.
+//
+// Each simulated host owns an oscillator whose time drifts away from true
+// time. Following the measurement literature the paper builds on (Paxson's
+// calibration work [45], Murdoch's skew study [42]), the model is a
+// constant frequency skew — which dominates in practice — plus a bounded
+// random-walk variable skew, a diurnal temperature-driven frequency term
+// (the paper observes wired drift is "dependent on the temperature of the
+// vendor-specific oscillator"), and white phase noise on each reading.
+//
+// `DisciplinedClock` layers correction state (phase steps and frequency
+// compensation, the two knobs a clock discipline such as ntpd's PLL has)
+// on top of the free-running oscillator.
+#pragma once
+
+#include <stdexcept>
+
+#include "core/rng.h"
+#include "core/time.h"
+
+namespace mntp::sim {
+
+/// Free-running oscillator parameters. Signs follow the convention
+/// offset = local - true: a positive skew means the local clock runs fast.
+struct OscillatorParams {
+  /// Phase offset at t = 0, in seconds.
+  double initial_offset_s = 0.0;
+  /// Constant frequency error in parts per million. Commodity crystals
+  /// are typically within +-50 ppm; the paper's 4-hour free-run (Fig 12)
+  /// shows a drift trend of roughly -20 ms/hour ~ -5.5 ppm.
+  double constant_skew_ppm = 0.0;
+  /// Random-walk frequency modulation: the per-sqrt(second) standard
+  /// deviation of the wander increment, in ppm.
+  double wander_ppm_per_sqrt_s = 0.0;
+  /// Hard bound on |variable skew| so wander cannot run away over long
+  /// simulations (physically, temperature-compensated bounds).
+  double wander_clamp_ppm = 10.0;
+  /// Peak amplitude of the diurnal temperature-induced frequency swing.
+  double temp_amplitude_ppm = 0.0;
+  /// Period of the temperature cycle (default 24 h).
+  core::Duration temp_period = core::Duration::hours(24);
+  /// Phase of the temperature cycle at t = 0, radians.
+  double temp_phase_rad = 0.0;
+  /// White phase noise added to each *reading*, seconds (stddev). Does
+  /// not integrate into the clock state.
+  double read_noise_s = 0.0;
+  /// Integration step for the wander process.
+  core::Duration integration_step = core::Duration::milliseconds(500);
+};
+
+/// A free-running local clock. Queries must be issued with non-decreasing
+/// true time (the simulation only moves forward).
+class OscillatorModel {
+ public:
+  OscillatorModel(OscillatorParams params, core::Rng rng);
+
+  /// True offset (local - true) at true time t, in seconds, excluding
+  /// read noise. Advances internal wander state; t must be >= the last
+  /// queried time.
+  [[nodiscard]] double offset_at(core::TimePoint t);
+
+  /// A clock *reading* at true time t: offset plus white read noise.
+  [[nodiscard]] double read_offset(core::TimePoint t);
+
+  /// Local time corresponding to true time t (no read noise).
+  [[nodiscard]] core::TimePoint local_time(core::TimePoint t);
+
+  /// Current total frequency error (constant + wander + temperature), ppm.
+  [[nodiscard]] double current_skew_ppm() const;
+
+  [[nodiscard]] const OscillatorParams& params() const { return params_; }
+
+ private:
+  void advance_to(core::TimePoint t);
+  [[nodiscard]] double temp_skew_ppm(core::TimePoint t) const;
+
+  OscillatorParams params_;
+  core::Rng rng_;
+  core::TimePoint last_;
+  double offset_s_;
+  double wander_ppm_ = 0.0;
+  double last_temp_ppm_ = 0.0;
+};
+
+/// A disciplined clock: an oscillator plus correction state. This is the
+/// system clock of a simulated host; SNTP/NTP/MNTP clients read it and
+/// may step its phase or trim its frequency.
+class DisciplinedClock {
+ public:
+  DisciplinedClock(OscillatorParams params, core::Rng rng)
+      : osc_(params, std::move(rng)) {}
+
+  /// Offset (local - true) of the *disciplined* clock at true time t,
+  /// seconds, excluding read noise.
+  [[nodiscard]] double offset_at(core::TimePoint t);
+
+  /// A noisy reading of the disciplined clock's offset.
+  [[nodiscard]] double read_offset(core::TimePoint t);
+
+  /// Local (disciplined) time at true time t.
+  [[nodiscard]] core::TimePoint local_time(core::TimePoint t);
+
+  /// Apply a phase step: local time jumps by `delta` (a measured offset
+  /// of +x is corrected by stepping -x).
+  void step(core::Duration delta);
+
+  /// Set the frequency compensation applied from true time t onward, in
+  /// ppm. Positive compensation speeds the disciplined clock up.
+  void set_frequency_compensation(core::TimePoint t, double ppm);
+
+  [[nodiscard]] double frequency_compensation_ppm() const { return comp_ppm_; }
+
+  /// Total phase stepped so far (diagnostics).
+  [[nodiscard]] core::Duration total_stepped() const { return total_stepped_; }
+
+  [[nodiscard]] OscillatorModel& oscillator() { return osc_; }
+
+ private:
+  void integrate_comp(core::TimePoint t);
+
+  OscillatorModel osc_;
+  double corr_s_ = 0.0;        // accumulated phase correction
+  double comp_ppm_ = 0.0;      // active frequency compensation
+  core::TimePoint comp_since_; // last time the compensation integral advanced
+  bool comp_started_ = false;
+  core::Duration total_stepped_ = core::Duration::zero();
+};
+
+}  // namespace mntp::sim

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace mntp::sim {
+
+EventHandle EventQueue::schedule(core::TimePoint when, Action action) {
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{alive};
+  heap_.push(Entry{when, next_seq_++, std::move(action), std::move(alive)});
+  ++live_;
+  return handle;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && !*heap_.top().alive) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+core::TimePoint EventQueue::next_time() const {
+  drop_dead();
+  return heap_.empty() ? core::TimePoint::max() : heap_.top().when;
+}
+
+core::TimePoint EventQueue::run_next() {
+  drop_dead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::run_next on empty queue");
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because pop() immediately removes it.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_;
+  *entry.alive = false;
+  entry.action();
+  return entry.when;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  live_ = 0;
+}
+
+}  // namespace mntp::sim

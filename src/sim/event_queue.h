@@ -1,0 +1,86 @@
+// Discrete-event queue.
+//
+// A binary heap of (time, sequence) keyed events. Ties at the same instant
+// fire in scheduling order (FIFO), which keeps simulations deterministic
+// and makes cause-before-effect reasoning valid within a timestep.
+// Cancellation is O(1) via a shared tombstone flag; cancelled entries are
+// dropped lazily when they surface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/time.h"
+
+namespace mntp::sim {
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event; a no-op if it already fired or was cancelled.
+  void cancel() {
+    if (auto p = alive_.lock()) *p = false;
+  }
+
+  /// True while the event is still scheduled to fire.
+  [[nodiscard]] bool pending() const {
+    auto p = alive_.lock();
+    return p && *p;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when`. Returns a cancel handle.
+  EventHandle schedule(core::TimePoint when, Action action);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event; TimePoint::max() when empty.
+  [[nodiscard]] core::TimePoint next_time() const;
+
+  /// Pop and run the earliest live event; returns its time. Requires
+  /// !empty().
+  core::TimePoint run_next();
+
+  /// Number of scheduled events not yet fired. Cancelled events are
+  /// counted until they surface at the head of the heap (lazy deletion),
+  /// so this is an upper bound on live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    core::TimePoint when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  mutable std::size_t live_ = 0;
+};
+
+}  // namespace mntp::sim

@@ -1,0 +1,40 @@
+#include "sim/simulation.h"
+
+namespace mntp::sim {
+
+void Simulation::run_until(core::TimePoint deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+void Simulation::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+}
+
+void PeriodicProcess::start(core::Duration initial_delay) {
+  stop();
+  running_ = true;
+  pending_ = sim_.after(initial_delay, [this] { fire(); });
+}
+
+void PeriodicProcess::stop() {
+  pending_.cancel();
+  running_ = false;
+}
+
+void PeriodicProcess::fire() {
+  // Reschedule before running the action so the action can observe a
+  // consistent "running" state and may call stop() to break the chain.
+  pending_ = sim_.after(interval_, [this] { fire(); });
+  action_();
+}
+
+}  // namespace mntp::sim

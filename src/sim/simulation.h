@@ -1,0 +1,95 @@
+// Simulation kernel: owns the event queue and the one true timeline.
+//
+// Components schedule callbacks against absolute or relative simulated
+// time; `run_until`/`run` drain the queue in timestamp order. "True time"
+// (`now()`) is the oracle against which all clock offsets in experiments
+// are measured — it plays the role of the paper's NIST-disciplined
+// reference ("true time offset" from ntpq, §3.2).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/time.h"
+#include "sim/event_queue.h"
+
+namespace mntp::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated (true) time.
+  [[nodiscard]] core::TimePoint now() const { return now_; }
+
+  /// Schedule at an absolute instant; instants in the past fire
+  /// immediately on the next run step (clamped to now).
+  EventHandle at(core::TimePoint when, EventQueue::Action action) {
+    if (when < now_) when = now_;
+    return queue_.schedule(when, std::move(action));
+  }
+
+  /// Schedule after a (non-negative) delay from now.
+  EventHandle after(core::Duration delay, EventQueue::Action action) {
+    if (delay < core::Duration::zero()) delay = core::Duration::zero();
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  /// Run events until the queue is exhausted or the next event is past
+  /// `deadline`; leaves now() at min(deadline, last event time fired).
+  /// Advances now() to `deadline` on return so subsequent scheduling is
+  /// relative to the deadline.
+  void run_until(core::TimePoint deadline);
+
+  /// Run until the queue is fully drained.
+  void run();
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  core::TimePoint now_;
+  std::uint64_t executed_ = 0;
+};
+
+/// Repeating task helper: runs `action` every `interval`, starting at
+/// `start`, until cancelled or the simulation stops running. The action
+/// may cancel the process from within itself.
+class PeriodicProcess {
+ public:
+  using Action = EventQueue::Action;
+
+  PeriodicProcess(Simulation& sim, core::Duration interval, Action action)
+      : sim_(sim), interval_(interval), action_(std::move(action)) {}
+
+  ~PeriodicProcess() { stop(); }
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Begin firing; the first invocation happens after `initial_delay`.
+  void start(core::Duration initial_delay = core::Duration::zero());
+
+  /// Cancel the pending invocation and stop rescheduling.
+  void stop();
+
+  /// Change the interval; takes effect at the next reschedule.
+  void set_interval(core::Duration interval) { interval_ = interval; }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void fire();
+
+  Simulation& sim_;
+  core::Duration interval_;
+  Action action_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace mntp::sim

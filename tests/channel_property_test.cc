@@ -1,0 +1,163 @@
+// Parameterized property sweeps over the wireless channel model: the
+// monotone relationships the MNTP evaluation rests on must hold across
+// the parameter space, not just at the calibrated defaults.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/stats.h"
+#include "net/wireless_channel.h"
+
+namespace mntp::net {
+namespace {
+
+using core::Duration;
+using core::Rng;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+struct ChannelSample {
+  double loss_rate = 0.0;
+  double mean_delay_ms = 0.0;
+  double p99_delay_ms = 0.0;
+};
+
+ChannelSample measure(const WirelessChannelParams& params, std::uint64_t seed,
+                      double utilization = 0.0, int n = 20000) {
+  WirelessChannel c(params, Rng(seed));
+  c.set_utilization(utilization);
+  std::size_t lost = 0;
+  std::vector<double> delays;
+  for (int i = 0; i < n; ++i) {
+    const auto r = c.transmit_dir(at_s(i * 0.25), 76, true);
+    if (r.delivered) {
+      delays.push_back(r.delay.to_millis());
+    } else {
+      ++lost;
+    }
+  }
+  ChannelSample s;
+  s.loss_rate = static_cast<double>(lost) / n;
+  if (!delays.empty()) {
+    s.mean_delay_ms = core::summarize(delays).mean;
+    s.p99_delay_ms = core::percentile(delays, 99);
+  }
+  return s;
+}
+
+// Sweep: more bad-state occupancy means strictly worse channel outcomes.
+class BadOccupancySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BadOccupancySweep, MoreBadTimeMeansWorseDelivery) {
+  const auto [good_s, bad_s] = GetParam();
+  WirelessChannelParams mild;
+  mild.mean_good_duration = Duration::seconds(good_s * 4);
+  mild.mean_bad_duration = Duration::seconds(bad_s);
+  WirelessChannelParams harsh = mild;
+  harsh.mean_good_duration = Duration::seconds(good_s);
+  harsh.mean_bad_duration = Duration::seconds(bad_s * 4);
+
+  const ChannelSample a = measure(mild, 42);
+  const ChannelSample b = measure(harsh, 42);
+  EXPECT_GT(b.loss_rate, a.loss_rate);
+  EXPECT_GT(b.mean_delay_ms, a.mean_delay_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sojourns, BadOccupancySweep,
+                         ::testing::Values(std::make_tuple(30, 10),
+                                           std::make_tuple(60, 5),
+                                           std::make_tuple(20, 20)));
+
+// Sweep: higher utilization means more queueing delay at every level.
+class UtilizationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationSweep, DelayMonotoneInLoad) {
+  const double rho = GetParam();
+  WirelessChannelParams p;
+  p.mean_bad_duration = Duration::seconds(1);  // quiet channel: isolate queueing
+  p.mean_good_duration = Duration::hours(10);
+  const ChannelSample idle = measure(p, 7, 0.0);
+  const ChannelSample busy = measure(p, 7, rho);
+  EXPECT_GT(busy.mean_delay_ms, idle.mean_delay_ms) << "rho=" << rho;
+  EXPECT_GT(busy.p99_delay_ms, idle.p99_delay_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, UtilizationSweep,
+                         ::testing::Values(0.3, 0.6, 0.9));
+
+// Sweep: raising transmit power improves SNR and with it delivery.
+class TxPowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TxPowerSweep, PowerBuysDelivery) {
+  const double low_dbm = GetParam();
+  WirelessChannelParams p;
+  // Marginal geometry so power matters.
+  p.path_loss = core::Decibels{95.0};
+  p.mean_bad_duration = Duration::seconds(1);
+  p.mean_good_duration = Duration::hours(10);
+
+  WirelessChannel weak(p, Rng(9));
+  weak.set_tx_power(core::Dbm{low_dbm});
+  WirelessChannel strong(p, Rng(9));
+  strong.set_tx_power(core::Dbm{low_dbm + 8.0});
+
+  std::size_t weak_lost = 0, strong_lost = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (!weak.transmit_dir(at_s(i * 0.25), 76, true).delivered) ++weak_lost;
+    if (!strong.transmit_dir(at_s(i * 0.25), 76, true).delivered) ++strong_lost;
+  }
+  EXPECT_LT(strong_lost, weak_lost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, TxPowerSweep, ::testing::Values(8.0, 12.0, 16.0));
+
+// The load-bearing correlation: across a broad parameter grid, instants
+// the hints call favorable must always deliver better than unfavorable
+// ones. This is the assumption MNTP's entire design rests on.
+class GateCorrelationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GateCorrelationSweep, FavorableBeatsUnfavorableEverywhere) {
+  const auto [fade_db, spike_prob] = GetParam();
+  WirelessChannelParams p;
+  p.bad_extra_fade = core::Decibels{fade_db};
+  p.bad_spike_probability = spike_prob;
+  WirelessChannel c(p, Rng(11));
+  c.set_utilization(0.4);
+
+  const core::Dbm min_rssi{-75.0};
+  const core::Dbm max_noise{-70.0};
+  const core::Decibels min_margin{20.0};
+
+  std::size_t fav_n = 0, fav_lost = 0, unfav_n = 0, unfav_lost = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const TimePoint t = at_s(i * 0.25);
+    const auto h = c.observe_hints(t);
+    const bool favorable = h.rssi > min_rssi && h.noise < max_noise &&
+                           h.snr_margin() >= min_margin;
+    const auto r = c.transmit_dir(t, 76, true);
+    if (favorable) {
+      ++fav_n;
+      fav_lost += r.delivered ? 0 : 1;
+    } else {
+      ++unfav_n;
+      unfav_lost += r.delivered ? 0 : 1;
+    }
+  }
+  ASSERT_GT(fav_n, 500u);
+  ASSERT_GT(unfav_n, 500u);
+  EXPECT_LT(static_cast<double>(fav_lost) / fav_n,
+            static_cast<double>(unfav_lost) / unfav_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GateCorrelationSweep,
+    ::testing::Values(std::make_tuple(6.0, 0.3), std::make_tuple(10.0, 0.6),
+                      std::make_tuple(14.0, 0.9), std::make_tuple(10.0, 0.1)));
+
+}  // namespace
+}  // namespace mntp::net

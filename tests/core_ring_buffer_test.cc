@@ -1,0 +1,72 @@
+#include "core/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mntp::core {
+namespace {
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, FillsThenEvictsOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+}
+
+TEST(RingBuffer, ManyWrapArounds) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 100; ++i) rb.push(i);
+  EXPECT_EQ(rb.to_vector(), (std::vector<int>{96, 97, 98, 99}));
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<std::string> rb(2);
+  rb.push("a");
+  rb.push("b");
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  rb.push("c");
+  EXPECT_EQ(rb.front(), "c");
+}
+
+TEST(RingBuffer, MutableIndexing) {
+  RingBuffer<int> rb(2);
+  rb.push(10);
+  rb.push(20);
+  rb[0] = 99;
+  EXPECT_EQ(rb.front(), 99);
+}
+
+TEST(RingBuffer, ToVectorPartial) {
+  RingBuffer<int> rb(5);
+  rb.push(7);
+  rb.push(8);
+  EXPECT_EQ(rb.to_vector(), (std::vector<int>{7, 8}));
+}
+
+TEST(RingBuffer, CapacityStable) {
+  RingBuffer<int> rb(3);
+  for (int i = 0; i < 10; ++i) rb.push(i);
+  EXPECT_EQ(rb.capacity(), 3u);
+  EXPECT_EQ(rb.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mntp::core

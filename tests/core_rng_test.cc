@@ -1,0 +1,109 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace mntp::core {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDrawCount) {
+  // Fork first, then the parent's subsequent draws must not change what
+  // an identically-created fork yields.
+  Rng parent1(7), parent2(7);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  (void)parent1.uniform(0, 1);  // perturb parent1 only
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(child1.next_u64(), child2.next_u64());
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveAndCoverage) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_LT(rng.index(7), 7u);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.15);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal(std::log(4.0), 0.5));
+  EXPECT_NEAR(percentile(xs, 50), 4.0, 0.2);
+}
+
+TEST(Rng, ParetoScaleAndTail) {
+  Rng rng(14);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.pareto(2.0, 1.5));
+  for (double x : xs) ASSERT_GE(x, 2.0);
+  // Median of Pareto(xm, alpha) is xm * 2^(1/alpha).
+  EXPECT_NEAR(percentile(xs, 50), 2.0 * std::pow(2.0, 1.0 / 1.5), 0.1);
+}
+
+}  // namespace
+}  // namespace mntp::core

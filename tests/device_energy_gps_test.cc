@@ -1,0 +1,157 @@
+// Energy accountant and GPS time source tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/energy.h"
+#include "device/gps.h"
+#include "sim/simulation.h"
+
+namespace mntp::device {
+namespace {
+
+using core::Duration;
+using core::Rng;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+TEST(Energy, SingleExchangeCosts) {
+  RadioEnergyParams p;
+  EnergyAccountant acc(p);
+  acc.on_exchange(at_s(10), 152);
+  const TimePoint end = at_s(100);  // window long closed
+  // promotion + active premium + tail-baseline window + bytes.
+  const double window_s =
+      (p.active_per_exchange + p.tail_time).to_seconds();
+  const double expected =
+      p.promotion_mj +
+      (p.active_mw - p.tail_mw) * p.active_per_exchange.to_seconds() +
+      p.tail_mw * window_s + p.per_byte_mj * 152;
+  EXPECT_NEAR(acc.total_mj(end), expected, 1e-6);
+  EXPECT_EQ(acc.promotions(), 1u);
+  EXPECT_EQ(acc.exchanges(), 1u);
+  EXPECT_EQ(acc.bytes(), 152u);
+  EXPECT_NEAR(acc.radio_on_time(end).to_seconds(), window_s, 1e-9);
+}
+
+TEST(Energy, BackToBackExchangesShareOnePromotion) {
+  RadioEnergyParams p;
+  EnergyAccountant burst(p);
+  // Three exchanges 1 s apart: all inside the 12 s tail.
+  burst.on_exchange(at_s(0), 152);
+  burst.on_exchange(at_s(1), 152);
+  burst.on_exchange(at_s(2), 152);
+  EXPECT_EQ(burst.promotions(), 1u);
+
+  EnergyAccountant spread(p);
+  // Three exchanges a minute apart: three promotions + three tails.
+  spread.on_exchange(at_s(0), 152);
+  spread.on_exchange(at_s(60), 152);
+  spread.on_exchange(at_s(120), 152);
+  EXPECT_EQ(spread.promotions(), 3u);
+
+  const TimePoint end = at_s(300);
+  // The paper's point (via Balasubramanian et al.): the same bytes cost
+  // much more when spread out.
+  EXPECT_GT(spread.total_mj(end), burst.total_mj(end) * 1.8);
+}
+
+TEST(Energy, PerByteTermIsMinor) {
+  RadioEnergyParams p;
+  EnergyAccountant small(p), large(p);
+  small.on_exchange(at_s(0), 76);
+  large.on_exchange(at_s(0), 10'000);
+  const TimePoint end = at_s(60);
+  // Two orders of magnitude more bytes, but nowhere near 100x energy.
+  EXPECT_LT(large.total_mj(end) / small.total_mj(end), 1.2);
+}
+
+TEST(Energy, OpenWindowAccruesPartially) {
+  RadioEnergyParams p;
+  EnergyAccountant acc(p);
+  acc.on_exchange(at_s(0), 76);
+  const double mid = acc.total_mj(at_s(5));
+  const double later = acc.total_mj(at_s(10));
+  EXPECT_LT(mid, later);
+  // After the window closes the total stops growing.
+  EXPECT_NEAR(acc.total_mj(at_s(50)), acc.total_mj(at_s(500)), 1e-9);
+}
+
+TEST(Energy, TimeBackwardsThrows) {
+  EnergyAccountant acc;
+  acc.on_exchange(at_s(100), 76);
+  EXPECT_THROW(acc.on_exchange(at_s(50), 76), std::logic_error);
+}
+
+TEST(Gps, FixesCorrectTheClockWhenSkyIsOpen) {
+  Rng rng(1);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(
+      sim::OscillatorParams{.initial_offset_s = 1.0}, rng.fork());
+  GpsParams params;
+  params.mean_open_sky = Duration::hours(100);  // effectively always open
+  params.mean_denied = Duration::seconds(1);
+  params.fix_interval = Duration::minutes(5);
+  GpsTimeSource gps(sim, clock, params, rng.fork());
+  gps.start();
+  sim.run_until(TimePoint::epoch() + Duration::hours(2));
+  EXPECT_GT(gps.fixes(), 10u);
+  EXPECT_LT(std::abs(clock.offset_at(sim.now())),
+            params.fix_error_bound.to_seconds() + 1e-6);
+}
+
+TEST(Gps, DeniedEnvironmentDeliversNoFixesButBurnsEnergy) {
+  Rng rng(2);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(sim::OscillatorParams{.initial_offset_s = 1.0},
+                              rng.fork());
+  GpsParams params;
+  params.mean_open_sky = Duration::seconds(1);
+  params.mean_denied = Duration::hours(1000);  // tunnel life
+  params.fix_interval = Duration::minutes(10);
+  GpsTimeSource gps(sim, clock, params, rng.fork());
+  gps.start();
+  sim.run_until(TimePoint::epoch() + Duration::hours(5));
+  EXPECT_GT(gps.attempts(), 25u);
+  EXPECT_EQ(gps.fixes(), 0u);
+  EXPECT_GT(gps.energy_mj(), 25 * params.energy_per_attempt_mj * 0.9);
+  // Clock error untouched.
+  EXPECT_NEAR(clock.offset_at(sim.now()), 1.0, 0.01);
+}
+
+TEST(Gps, AvailabilityOscillates) {
+  Rng rng(3);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(sim::OscillatorParams{}, rng.fork());
+  GpsParams params;
+  params.mean_open_sky = Duration::minutes(10);
+  params.mean_denied = Duration::minutes(10);
+  GpsTimeSource gps(sim, clock, params, rng.fork());
+  int open = 0, denied = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sim.run_until(TimePoint::epoch() + Duration::minutes(i));
+    (gps.available(sim.now()) ? open : denied) += 1;
+  }
+  EXPECT_GT(open, 400);
+  EXPECT_GT(denied, 400);
+}
+
+TEST(Gps, EnergyChargedPerAttempt) {
+  Rng rng(4);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(sim::OscillatorParams{}, rng.fork());
+  GpsParams params;
+  params.fix_interval = Duration::minutes(10);
+  GpsTimeSource gps(sim, clock, params, rng.fork());
+  gps.start();
+  sim.run_until(TimePoint::epoch() + Duration::hours(1));
+  EXPECT_NEAR(gps.energy_mj(),
+              static_cast<double>(gps.attempts()) * params.energy_per_attempt_mj,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace mntp::device

@@ -1,0 +1,118 @@
+// Leap-second robustness scenarios.
+//
+// The paper's related work cites Veitch & Vijayalayan's study of the 2015
+// leap second, where public NTP infrastructure stepped en masse and
+// client behaviour diverged wildly. We reproduce the event: every pool
+// server steps its clock by -1 s simultaneously, and each client strategy
+// reacts according to its design:
+//   * SNTP with clock updates follows at the very next poll (blind trust
+//     cuts both ways — agile here, fragile against ordinary spikes);
+//   * full NTP hesitates through its stepout guard, then steps;
+//   * MNTP's trend filter treats the coherent 1 s shift as a stream of
+//     outliers and starves until its reset period re-opens the warm-up —
+//     the robustness/agility trade-off made explicit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mntp/mntp_client.h"
+#include "ntp/sntp_client.h"
+#include "ntp/testbed.h"
+
+namespace mntp {
+namespace {
+
+using core::Duration;
+using core::TimePoint;
+
+constexpr double kLeapStep = -1.0;  // leap insertion: servers repeat a second
+
+TEST(LeapSecond, SntpWithUpdatesFollowsImmediately) {
+  ntp::TestbedConfig config;
+  config.seed = 600;
+  config.wireless = false;
+  config.monitor_active = false;
+  config.ntp_correction = false;
+  ntp::Testbed bed(config);
+  ntp::SntpClientPolicy policy;
+  policy.poll_interval = Duration::seconds(64);
+  policy.update_clock = true;
+  ntp::SntpClient client(bed.sim(), bed.target_clock(), bed.pool(),
+                         bed.last_hop_up(), bed.last_hop_down(), policy);
+  bed.start();
+  client.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(30));
+  bed.pool().adjust_all_clocks(kLeapStep);
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(33));
+  // Within two polls the client has stepped onto the new timescale.
+  EXPECT_NEAR(bed.true_clock_offset_ms(), kLeapStep * 1e3, 30.0);
+}
+
+TEST(LeapSecond, NtpStepsAfterStepoutGuard) {
+  ntp::TestbedConfig config;
+  config.seed = 601;
+  config.wireless = false;
+  config.monitor_active = false;
+  config.ntp_correction = true;
+  ntp::Testbed bed(config);
+  bed.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(30));
+  const auto steps_before = bed.ntp_client()->steps();
+  bed.pool().adjust_all_clocks(kLeapStep);
+
+  // Immediately after the event the guard is still holding: the clock has
+  // not yet jumped a full second within the first couple of rounds.
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(30) +
+                      Duration::seconds(40));
+  EXPECT_GT(bed.true_clock_offset_ms(), -800.0);
+
+  // The persistent 1 s offset then satisfies the stepout and the clock
+  // steps onto the new timescale. The 8-stage min-delay filter can keep
+  // nominating a pre-leap sample for several rounds, so give it time.
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(45));
+  EXPECT_GT(bed.ntp_client()->steps(), steps_before);
+  EXPECT_NEAR(bed.true_clock_offset_ms(), kLeapStep * 1e3, 50.0);
+}
+
+TEST(LeapSecond, MntpFilterRejectsTheShiftUntilReset) {
+  ntp::TestbedConfig config;
+  config.seed = 602;
+  config.wireless = false;  // clean channel isolates the filter behaviour
+  config.monitor_active = false;
+  config.ntp_correction = false;
+  ntp::Testbed bed(config);
+  protocol::MntpParams params;
+  params.warmup_period = Duration::minutes(5);
+  params.warmup_wait_time = Duration::seconds(10);
+  params.regular_wait_time = Duration::seconds(30);
+  params.reset_period = Duration::minutes(60);
+  params.min_warmup_samples = 10;
+  protocol::MntpClient client(bed.sim(), bed.target_clock(), bed.pool(),
+                              bed.channel(), params, bed.fork_rng());
+  bed.start();
+  client.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(30));
+  const std::size_t accepted_before =
+      client.engine().accepted_offsets_ms().size();
+  bed.pool().adjust_all_clocks(kLeapStep);
+
+  // For the next stretch every sample sits 1 s off the trend: the filter
+  // rejects them all (the coherent world-step is indistinguishable from
+  // a run of spikes to a trend-based filter).
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(55));
+  const auto& engine = client.engine();
+  EXPECT_LE(engine.accepted_offsets_ms().size(), accepted_before + 2);
+  EXPECT_GT(engine.rejected_offsets_ms().size(), 10u);
+
+  // After the reset period the warm-up re-learns the new timescale and
+  // samples flow again.
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(110));
+  EXPECT_GT(engine.accepted_offsets_ms().size(), accepted_before + 10);
+  EXPECT_GE(engine.resets(), 1u);
+  // The re-learned trend sits near the new (-1 s) offset.
+  const auto accepted = engine.accepted_offsets_ms();
+  EXPECT_NEAR(accepted.back(), kLeapStep * 1e3, 60.0);
+}
+
+}  // namespace
+}  // namespace mntp

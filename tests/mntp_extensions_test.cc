@@ -1,0 +1,144 @@
+// Tests for the future-work extensions: the max_deferral fallback for
+// perpetually unstable channels and the self-tuning controller.
+#include <gtest/gtest.h>
+
+#include "mntp/mntp_client.h"
+#include "mntp/self_tuning.h"
+#include "ntp/testbed.h"
+
+namespace mntp::protocol {
+namespace {
+
+using core::Duration;
+using core::TimePoint;
+
+ntp::TestbedConfig hostile_channel_config(std::uint64_t seed) {
+  ntp::TestbedConfig config;
+  config.seed = seed;
+  config.wireless = true;
+  config.ntp_correction = false;
+  // A channel no hint reading will ever call favorable — the noise floor
+  // sits above the -70 dBm threshold and the SNR margin never reaches
+  // 20 dB — yet packets still (mostly) get through after MAC retries.
+  config.channel.base_noise = core::Dbm{-68.0};
+  return config;
+}
+
+TEST(MaxDeferral, PaperBehaviourStarvesOnHostileChannel) {
+  ntp::Testbed bed(hostile_channel_config(400));
+  MntpParams params = head_to_head_params();  // max_deferral = 0 (off)
+  MntpClient client(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                    params, bed.fork_rng());
+  bed.start();
+  client.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::hours(1));
+  // Shadowing + measurement noise can sneak the occasional reading past
+  // the thresholds, but the client is essentially starved.
+  EXPECT_LT(client.requests_sent(), 10u);
+  EXPECT_EQ(client.forced_emissions(), 0u);
+  EXPECT_GT(client.engine().deferrals(), 1000u);
+}
+
+TEST(MaxDeferral, FallbackKeepsSamplingOnHostileChannel) {
+  ntp::Testbed bed(hostile_channel_config(401));
+  MntpParams params = head_to_head_params();
+  params.max_deferral = Duration::minutes(2);
+  MntpClient client(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                    params, bed.fork_rng());
+  bed.start();
+  client.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::hours(1));
+  // Roughly one forced emission per max_deferral window.
+  EXPECT_GE(client.forced_emissions(), 20u);
+  EXPECT_GT(client.requests_sent(), 20u);
+  EXPECT_FALSE(client.engine().accepted_offsets_ms().empty());
+}
+
+TEST(MaxDeferral, NotTriggeredOnHealthyChannel) {
+  ntp::TestbedConfig config;
+  config.seed = 402;
+  config.wireless = true;
+  ntp::Testbed bed(config);
+  MntpParams params = head_to_head_params();
+  params.max_deferral = Duration::minutes(5);
+  MntpClient client(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                    params, bed.fork_rng());
+  bed.start();
+  client.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::hours(1));
+  // The gate opens often enough that the fallback stays quiet.
+  EXPECT_LT(client.forced_emissions(), 3u);
+}
+
+TEST(SelfTuner, BacksOffWhenStable) {
+  ntp::TestbedConfig config;
+  config.seed = 403;
+  config.wireless = true;
+  config.ntp_correction = true;
+  ntp::Testbed bed(config);
+  MntpParams params = head_to_head_params();
+  params.regular_wait_time = Duration::seconds(30);
+  MntpClient client(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                    params, bed.fork_rng());
+  SelfTunerParams tuner_params;
+  tuner_params.adapt_interval = Duration::minutes(10);
+  tuner_params.min_regular_wait = Duration::seconds(15);
+  tuner_params.max_regular_wait = Duration::minutes(10);
+  bed.start();
+  client.start();
+  SelfTuner tuner(bed.sim(), client, tuner_params);
+  tuner.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::hours(4));
+  // On a well-behaved (NTP-corrected) clock the rejection rate is low:
+  // the tuner should have lengthened the wait to save requests.
+  EXPECT_GT(tuner.backoffs(), 0u);
+  EXPECT_GT(tuner.current_wait(), Duration::seconds(30));
+}
+
+TEST(SelfTuner, WaitStaysWithinConfiguredBand) {
+  ntp::TestbedConfig config;
+  config.seed = 404;
+  config.wireless = true;
+  ntp::Testbed bed(config);
+  MntpParams params = head_to_head_params();
+  MntpClient client(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                    params, bed.fork_rng());
+  SelfTunerParams tuner_params;
+  tuner_params.adapt_interval = Duration::minutes(5);
+  tuner_params.min_regular_wait = Duration::seconds(10);
+  tuner_params.max_regular_wait = Duration::minutes(2);
+  bed.start();
+  client.start();
+  SelfTuner tuner(bed.sim(), client, tuner_params);
+  tuner.start();
+  for (int m = 10; m <= 240; m += 10) {
+    bed.sim().run_until(TimePoint::epoch() + Duration::minutes(m));
+    ASSERT_GE(tuner.current_wait(), tuner_params.min_regular_wait);
+    ASSERT_LE(tuner.current_wait(), tuner_params.max_regular_wait);
+  }
+}
+
+TEST(SelfTuner, FewerRequestsThanFixedFastCadence) {
+  auto run_requests = [](bool adapt) {
+    ntp::TestbedConfig config;
+    config.seed = 405;
+    config.wireless = true;
+    config.ntp_correction = true;
+    ntp::Testbed bed(config);
+    MntpParams params = head_to_head_params();  // 5 s cadence
+    MntpClient client(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                      params, bed.fork_rng());
+    bed.start();
+    client.start();
+    SelfTuner tuner(bed.sim(), client, SelfTunerParams{});
+    if (adapt) tuner.start();
+    bed.sim().run_until(TimePoint::epoch() + Duration::hours(4));
+    return client.requests_sent();
+  };
+  const auto fixed = run_requests(false);
+  const auto adaptive = run_requests(true);
+  EXPECT_LT(adaptive, fixed / 2);
+}
+
+}  // namespace
+}  // namespace mntp::protocol

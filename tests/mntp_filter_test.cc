@@ -1,0 +1,182 @@
+// Drift filter and false-ticker rejection tests — the heart of MNTP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "mntp/drift_filter.h"
+#include "mntp/false_ticker.h"
+
+namespace mntp::protocol {
+namespace {
+
+using core::Duration;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+TEST(FalseTicker, FewerThanThreeAllSurvive) {
+  EXPECT_EQ(reject_false_tickers(std::vector<double>{}).size(), 0u);
+  EXPECT_EQ(reject_false_tickers(std::vector<double>{0.5}).size(), 1u);
+  EXPECT_EQ(reject_false_tickers(std::vector<double>{0.5, -9.0}).size(), 2u);
+}
+
+TEST(FalseTicker, PositiveOutlierRejected) {
+  const auto s = reject_false_tickers(std::vector<double>{0.001, 0.002, 0.350});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 1u);
+}
+
+TEST(FalseTicker, NegativeOutlierRejected) {
+  const auto s = reject_false_tickers(std::vector<double>{0.001, -0.350, 0.002});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 2u);
+}
+
+TEST(FalseTicker, DegenerateGeometryKeepsAll) {
+  // Two symmetric clusters: the sd gate would reject everything; the
+  // fallback keeps all rather than stalling warm-up.
+  const auto s = reject_false_tickers(std::vector<double>{-1.0, -1.0, 1.0, 1.0});
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(FalseTicker, CombineAveragesSurvivors) {
+  const std::vector<double> offsets{0.010, 0.020, 0.900};
+  const auto s = reject_false_tickers(offsets);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(combine_surviving_offsets(offsets, s), 0.015, 1e-12);
+}
+
+TEST(FalseTicker, CombineThrowsOnEmpty) {
+  const std::vector<double> offsets{1.0};
+  EXPECT_THROW((void)combine_surviving_offsets(offsets, std::vector<std::size_t>{}),
+               std::invalid_argument);
+}
+
+// ---- DriftFilter ----
+
+TEST(DriftFilter, BootstrapAcceptsUnconditionally) {
+  DriftFilter f({.bootstrap_samples = 5});
+  for (int i = 0; i < 5; ++i) {
+    const auto d = f.offer(at_s(i * 5.0), i == 2 ? 0.8 : 0.001 * i);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_TRUE(d.bootstrap);
+  }
+  EXPECT_FALSE(f.bootstrapping());
+}
+
+TEST(DriftFilter, BootstrapCompletionIsLatched) {
+  // Pruning at bootstrap end may drop samples below the bootstrap count;
+  // the filter must not re-enter the unconditional-accept mode.
+  DriftFilter f({.bootstrap_samples = 6});
+  for (int i = 0; i < 5; ++i) (void)f.offer(at_s(i * 5.0), 0.0);
+  (void)f.offer(at_s(25.0), 0.5);  // outlier inside bootstrap, pruned at end
+  EXPECT_FALSE(f.bootstrapping());
+  const auto d = f.offer(at_s(30.0), 0.4);
+  EXPECT_FALSE(d.accepted);  // regular gate active despite pruning
+}
+
+TEST(DriftFilter, EstimatesDriftSlope) {
+  DriftFilter f({.bootstrap_samples = 10});
+  // -5.5 ppm drift sampled every 5 s over 10 minutes with small noise.
+  core::Rng rng(1);
+  for (int i = 0; i < 120; ++i) {
+    (void)f.offer(at_s(i * 5.0), -5.5e-6 * i * 5.0 + rng.normal(0, 0.0002));
+  }
+  const auto drift = f.drift_s_per_s();
+  ASSERT_TRUE(drift.has_value());
+  EXPECT_NEAR(*drift * 1e6, -5.5, 0.5);  // in ppm
+}
+
+TEST(DriftFilter, RejectsTrendOutlier) {
+  DriftFilter f({.bootstrap_samples = 10});
+  for (int i = 0; i < 20; ++i) (void)f.offer(at_s(i * 5.0), 0.001);
+  const auto d = f.offer(at_s(105.0), 0.300);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NEAR(d.residual_s, 0.299, 0.01);
+  EXPECT_EQ(f.rejected_count(), 1u);
+}
+
+TEST(DriftFilter, AcceptsWithinBandSamples) {
+  DriftFilter f({.bootstrap_samples = 10, .min_accept_band_s = 0.015});
+  for (int i = 0; i < 20; ++i) (void)f.offer(at_s(i * 5.0), 0.0);
+  const auto d = f.offer(at_s(105.0), 0.010);  // within the 15 ms floor
+  EXPECT_TRUE(d.accepted);
+}
+
+TEST(DriftFilter, PredictsAlongTrend) {
+  DriftFilter f({.bootstrap_samples = 5});
+  for (int i = 0; i < 10; ++i) (void)f.offer(at_s(i * 10.0), 0.001 * i);
+  const auto p = f.predict_s(at_s(200.0));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 0.020, 1e-4);
+}
+
+TEST(DriftFilter, ReestimationTracksChangingSkew) {
+  // Slope changes midway; with per-sample re-estimation the filter keeps
+  // accepting, without it the gate eventually rejects the new regime.
+  auto run = [](bool reestimate) {
+    DriftFilter f({.bootstrap_samples = 10,
+                   .reestimate_each_sample = reestimate,
+                   .stats_window = 20,
+                   .min_accept_band_s = 0.005});
+    std::size_t rejected = 0;
+    double offset = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const double slope = i < 60 ? 2e-6 : 30e-6;  // skew regime change
+      offset += slope * 5.0;
+      if (!f.offer(at_s(i * 5.0), offset).accepted) ++rejected;
+    }
+    return rejected;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(DriftFilter, ResetClearsState) {
+  DriftFilter f({.bootstrap_samples = 3});
+  for (int i = 0; i < 5; ++i) (void)f.offer(at_s(i), 0.0);
+  f.reset();
+  EXPECT_TRUE(f.bootstrapping());
+  EXPECT_EQ(f.accepted_count(), 0u);
+  EXPECT_FALSE(f.drift_s_per_s().has_value());
+  EXPECT_FALSE(f.predict_s(at_s(10)).has_value());
+}
+
+TEST(DriftFilter, PruneDropsBootstrapOutliers) {
+  DriftFilter f({.bootstrap_samples = 12});
+  for (int i = 0; i < 11; ++i) (void)f.offer(at_s(i * 5.0), 0.001);
+  (void)f.offer(at_s(55.0), 0.700);  // 12th sample completes bootstrap
+  // The 700 ms bootstrap outlier must not drag the trend: prediction
+  // stays near 1 ms.
+  const auto p = f.predict_s(at_s(60.0));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_LT(std::fabs(*p - 0.001), 0.01);
+}
+
+TEST(DriftFilter, StatsWindowForgetsOldOutliers) {
+  DriftFilter f({.bootstrap_samples = 10, .stats_window = 10,
+                 .min_accept_band_s = 0.005});
+  // Clean bootstrap, then a mildly noisy stretch, then verify a 50 ms
+  // outlier is rejected even though the *bootstrap* had contained noise.
+  core::Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    (void)f.offer(at_s(i * 5.0), rng.normal(0.0, 0.002));
+  }
+  const auto d = f.offer(at_s(301.0), 0.050);
+  EXPECT_FALSE(d.accepted);
+}
+
+TEST(DriftFilter, MinimumTwoBootstrapSamples) {
+  DriftFilter f({.bootstrap_samples = 0});  // clamped up to 2
+  (void)f.offer(at_s(0), 0.0);
+  EXPECT_TRUE(f.bootstrapping());
+  (void)f.offer(at_s(5), 0.0);
+  EXPECT_FALSE(f.bootstrapping());
+}
+
+}  // namespace
+}  // namespace mntp::protocol

@@ -1,0 +1,192 @@
+// Trace round-trip and tuner (logger/emulator/searcher) tests.
+#include <gtest/gtest.h>
+
+#include "mntp/trace.h"
+#include "mntp/tuner.h"
+#include "ntp/testbed.h"
+
+namespace mntp::protocol {
+namespace {
+
+using core::Duration;
+using core::TimePoint;
+
+Trace make_trace(std::size_t n, double interval_s = 5.0) {
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.t_s = static_cast<double>(i) * interval_s;
+    r.rssi_dbm = -60.0;
+    r.noise_dbm = -92.0;
+    r.offsets_s = {0.001, 0.002, 0.0005};
+    t.records.push_back(std::move(r));
+  }
+  return t;
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const Trace t = make_trace(5);
+  const std::string csv = t.to_csv();
+  const auto parsed = Trace::from_csv(csv);
+  ASSERT_TRUE(parsed.ok());
+  const Trace& u = parsed.value();
+  ASSERT_EQ(u.size(), 5u);
+  EXPECT_DOUBLE_EQ(u.records[3].t_s, 15.0);
+  EXPECT_DOUBLE_EQ(u.records[3].rssi_dbm, -60.0);
+  ASSERT_EQ(u.records[3].offsets_s.size(), 3u);
+  EXPECT_NEAR(u.records[3].offsets_s[1], 0.002, 1e-9);
+}
+
+TEST(Trace, RaggedOffsetsSupported) {
+  Trace t;
+  t.records.push_back({.t_s = 0.0, .rssi_dbm = -60, .noise_dbm = -90,
+                       .offsets_s = {}});
+  t.records.push_back({.t_s = 5.0, .rssi_dbm = -61, .noise_dbm = -91,
+                       .offsets_s = {0.1}});
+  const auto parsed = Trace::from_csv(t.to_csv());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().records[0].offsets_s.empty());
+  EXPECT_EQ(parsed.value().records[1].offsets_s.size(), 1u);
+}
+
+TEST(Trace, RejectsMalformedRows) {
+  EXPECT_FALSE(Trace::from_csv("header\n1.0,abc,-90\n").ok());
+  EXPECT_FALSE(Trace::from_csv("header\n1.0,-60\n").ok());  // too few fields
+}
+
+TEST(Trace, RejectsNonMonotonicTimestamps) {
+  const std::string csv = "h\n1.0,-60,-90\n0.5,-60,-90\n";
+  const auto parsed = Trace::from_csv(csv);
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(Trace, SpanAndEmpty) {
+  EXPECT_TRUE(Trace{}.empty());
+  EXPECT_DOUBLE_EQ(Trace{}.span_s(), 0.0);
+  EXPECT_DOUBLE_EQ(make_trace(10).span_s(), 45.0);
+}
+
+TEST(Emulator, EmptyTraceEmptyResult) {
+  const auto r = tuner::emulate(Trace{}, MntpParams{});
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_TRUE(r.reported_offsets_ms.empty());
+}
+
+TEST(Emulator, PacingControlsRequestCount) {
+  const Trace t = make_trace(200);  // 1000 s at 5 s cadence
+  MntpParams fast = head_to_head_params();  // acts every 5 s
+  MntpParams slow = head_to_head_params();
+  slow.regular_wait_time = Duration::seconds(60);
+  slow.warmup_wait_time = Duration::seconds(60);
+  const auto rf = tuner::emulate(t, fast);
+  const auto rs = tuner::emulate(t, slow);
+  EXPECT_GT(rf.requests, rs.requests * 5);
+}
+
+TEST(Emulator, UnfavorableHintsDeferEverything) {
+  Trace t = make_trace(50);
+  for (auto& r : t.records) {
+    r.rssi_dbm = -85.0;  // below threshold
+  }
+  const auto r = tuner::emulate(t, head_to_head_params());
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_GT(r.deferrals, 40u);
+}
+
+TEST(Emulator, Deterministic) {
+  const Trace t = make_trace(100);
+  const auto a = tuner::emulate(t, MntpParams{});
+  const auto b = tuner::emulate(t, MntpParams{});
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.reported_offsets_ms, b.reported_offsets_ms);
+  EXPECT_DOUBLE_EQ(a.rmse_ms, b.rmse_ms);
+}
+
+TEST(Emulator, RmseReflectsOffsets) {
+  Trace t = make_trace(100);
+  for (auto& r : t.records) r.offsets_s = {0.010};  // constant 10 ms
+  const auto res = tuner::emulate(t, head_to_head_params());
+  ASSERT_FALSE(res.reported_offsets_ms.empty());
+  EXPECT_NEAR(res.rmse_ms, 10.0, 0.5);
+}
+
+TEST(Emulator, WarmupConsumesThreeOffsetsRegularOne) {
+  const Trace t = make_trace(200);
+  MntpParams p;
+  p.warmup_period = Duration::minutes(2);
+  p.warmup_wait_time = Duration::seconds(5);
+  p.regular_wait_time = Duration::seconds(5);
+  p.min_warmup_samples = 5;
+  p.reset_period = Duration::hours(2);
+  const auto r = tuner::emulate(t, p);
+  // Warm-up rounds bill 3 requests each; regular rounds 1. Total must
+  // exceed the pure-regular count for the same opportunities.
+  const auto pure_regular = tuner::emulate(t, head_to_head_params());
+  EXPECT_GT(r.requests, pure_regular.requests);
+}
+
+TEST(Searcher, EnumeratesCartesianProduct) {
+  const Trace t = make_trace(100);
+  tuner::SearchSpace space;
+  space.warmup_periods = {Duration::minutes(1), Duration::minutes(2)};
+  space.warmup_wait_times = {Duration::seconds(5)};
+  space.regular_wait_times = {Duration::seconds(15), Duration::seconds(30),
+                              Duration::seconds(60)};
+  space.reset_periods = {Duration::hours(4)};
+  const auto entries = tuner::search(t, space);
+  EXPECT_EQ(entries.size(), 6u);
+  for (const auto& e : entries) {
+    EXPECT_GE(e.rmse_ms, 0.0);
+  }
+  EXPECT_FALSE(entries[0].to_string().empty());
+}
+
+TEST(Logger, CapturesHintsAndOffsets) {
+  ntp::TestbedConfig config;
+  config.seed = 200;
+  config.wireless = true;
+  config.ntp_correction = false;
+  ntp::Testbed bed(config);
+  tuner::LoggerParams lp;
+  tuner::Logger logger(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                       lp, bed.fork_rng());
+  bed.start();
+  logger.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(10));
+  logger.stop();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(11));
+
+  const Trace& t = logger.trace();
+  ASSERT_GT(t.size(), 100u);  // ~120 opportunities
+  std::size_t with_offsets = 0;
+  for (const auto& r : t.records) {
+    EXPECT_GT(r.rssi_dbm, -120.0);
+    EXPECT_LT(r.rssi_dbm, 0.0);
+    EXPECT_LE(r.offsets_s.size(), lp.sources);
+    if (!r.offsets_s.empty()) ++with_offsets;
+  }
+  EXPECT_GT(with_offsets, t.size() / 2);
+}
+
+TEST(LoggerEmulatorEndToEnd, CapturedTraceReplays) {
+  ntp::TestbedConfig config;
+  config.seed = 201;
+  config.wireless = true;
+  config.ntp_correction = true;
+  ntp::Testbed bed(config);
+  tuner::Logger logger(bed.sim(), bed.target_clock(), bed.pool(), bed.channel(),
+                       {}, bed.fork_rng());
+  bed.start();
+  logger.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(30));
+  logger.stop();
+
+  const auto result = tuner::emulate(logger.trace(), head_to_head_params());
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_FALSE(result.reported_offsets_ms.empty());
+  // The emulated MNTP on a corrected-clock trace stays within tens of ms.
+  EXPECT_LT(result.rmse_ms, 50.0);
+}
+
+}  // namespace
+}  // namespace mntp::protocol

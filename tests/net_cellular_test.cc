@@ -1,0 +1,124 @@
+#include "net/cellular.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+
+namespace mntp::net {
+namespace {
+
+using core::Duration;
+using core::Rng;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+TEST(Cellular, UplinkMuchSlowerThanDownlink) {
+  CellularNetwork net(CellularParams{}, Rng(1));
+  core::RunningStats up, down;
+  for (int i = 0; i < 10000; ++i) {
+    const TimePoint t = at_s(i * 0.5);
+    const auto ru = net.uplink().transmit(t, 76);
+    if (ru.delivered) up.add(ru.delay.to_millis());
+    const auto rd = net.downlink().transmit(t, 76);
+    if (rd.delivered) down.add(rd.delay.to_millis());
+  }
+  // The asymmetry is what produces the paper's ~192 ms mean SNTP offset:
+  // (up - down) / 2 must land in the low hundreds of ms.
+  const double asym_offset = (up.mean() - down.mean()) / 2.0;
+  EXPECT_GT(asym_offset, 120.0);
+  EXPECT_LT(asym_offset, 280.0);
+}
+
+TEST(Cellular, DelaysRespectBases) {
+  CellularParams p;
+  CellularNetwork net(p, Rng(2));
+  for (int i = 0; i < 500; ++i) {
+    const TimePoint t = at_s(i * 1.0);
+    const auto ru = net.uplink().transmit(t, 76);
+    if (ru.delivered) {
+      ASSERT_GE(ru.delay, p.uplink_base);
+    }
+    const auto rd = net.downlink().transmit(t, 76);
+    if (rd.delivered) {
+      ASSERT_GE(rd.delay, p.downlink_base);
+    }
+  }
+}
+
+TEST(Cellular, OneWayDelayCapped) {
+  CellularParams p;
+  p.congested_uplink_factor = 50.0;  // absurd, to force the cap
+  CellularNetwork net(p, Rng(3));
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = net.uplink().transmit(at_s(i * 0.5), 76);
+    if (r.delivered) {
+      ASSERT_LE(r.delay, p.max_one_way);
+    }
+  }
+}
+
+TEST(Cellular, CongestionOccupancyMatchesSojourns) {
+  CellularParams p;
+  p.mean_clear_duration = Duration::seconds(60);
+  p.mean_congested_duration = Duration::seconds(20);
+  CellularNetwork net(p, Rng(4));
+  int congested = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (net.congested(at_s(i * 0.5))) ++congested;
+  }
+  EXPECT_NEAR(static_cast<double>(congested) / n, 0.25, 0.06);
+}
+
+TEST(Cellular, CongestionInflatesUplink) {
+  CellularNetwork net(CellularParams{}, Rng(5));
+  core::RunningStats clear, congested;
+  for (int i = 0; i < 40000; ++i) {
+    const TimePoint t = at_s(i * 0.5);
+    const bool c = net.congested(t);
+    const auto r = net.uplink().transmit(t, 76);
+    if (!r.delivered) continue;
+    (c ? congested : clear).add(r.delay.to_millis());
+  }
+  ASSERT_GT(congested.count(), 200u);
+  EXPECT_GT(congested.mean(), clear.mean() * 1.5);
+}
+
+TEST(Cellular, LossHigherUnderCongestion) {
+  CellularParams p;
+  p.loss_probability = 0.01;
+  p.congested_loss_probability = 0.3;
+  CellularNetwork net(p, Rng(6));
+  std::size_t clear_n = 0, clear_lost = 0, cong_n = 0, cong_lost = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const TimePoint t = at_s(i * 0.5);
+    const bool c = net.congested(t);
+    const auto r = net.uplink().transmit(t, 76);
+    if (c) {
+      ++cong_n;
+      cong_lost += r.delivered ? 0 : 1;
+    } else {
+      ++clear_n;
+      clear_lost += r.delivered ? 0 : 1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(clear_lost) / clear_n, 0.01, 0.01);
+  EXPECT_GT(static_cast<double>(cong_lost) / cong_n, 0.2);
+}
+
+TEST(Cellular, DeterministicPerSeed) {
+  CellularNetwork a(CellularParams{}, Rng(7));
+  CellularNetwork b(CellularParams{}, Rng(7));
+  for (int i = 0; i < 200; ++i) {
+    const auto ra = a.uplink().transmit(at_s(i), 76);
+    const auto rb = b.uplink().transmit(at_s(i), 76);
+    ASSERT_EQ(ra.delivered, rb.delivered);
+    ASSERT_EQ(ra.delay, rb.delay);
+  }
+}
+
+}  // namespace
+}  // namespace mntp::net

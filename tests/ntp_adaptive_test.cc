@@ -1,0 +1,140 @@
+// Kiss-of-death handling (RFC 4330 §10) and ntpd-style adaptive polling.
+#include <gtest/gtest.h>
+
+#include "ntp/sntp_client.h"
+#include "ntp/testbed.h"
+
+namespace mntp::ntp {
+namespace {
+
+using core::Duration;
+using core::Rng;
+using core::TimePoint;
+
+TEST(KissOfDeath, SntpClientBacksOff) {
+  Rng rng(500);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(sim::OscillatorParams{}, rng.fork());
+  // A pool of one server that answers everything with RATE.
+  PoolParams pp;
+  pp.server_count = 1;
+  ServerPool pool(pp, rng.fork());
+  // Rebuild member 0 as a KoD server is not exposed; instead query a
+  // standalone endpoint. Easier: use a dedicated pool-free setup.
+  NtpServerParams kod_params;
+  kod_params.kiss_of_death = true;
+  NtpServer kod("kod", kod_params, rng.fork());
+  net::WiredLink up(net::WiredLinkParams::lan(), rng.fork());
+  net::WiredLink down(net::WiredLinkParams::lan(), rng.fork());
+
+  // Drive the client against the KoD server by pointing a one-member
+  // pool's endpoint at it: construct endpoints manually via QueryEngine
+  // is simpler, but the backoff lives in SntpClient, so monkey with the
+  // pool: replace its member's behaviour using the same wire path.
+  // Instead, run the client against the honest pool but intercept via a
+  // custom QueryOptions is not possible — so test the policy loop with a
+  // pool whose only member is... honest. Hence: directly exercise the
+  // QueryEngine + manual loop below.
+  QueryEngine engine(sim, clock);
+  ServerEndpoint ep;
+  ep.server = &kod;
+  ep.up.append(up);
+  ep.down.append(down);
+  int kod_count = 0;
+  engine.query(ep, QueryOptions{}, [&](core::Result<SntpSample> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, core::Error::Code::kKissOfDeath);
+    ++kod_count;
+  });
+  sim.run();
+  EXPECT_EQ(kod_count, 1);
+}
+
+TEST(KissOfDeath, PolicyLengthensPollInterval) {
+  // A pool whose single member rate-limits everything.
+  Rng rng(501);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(sim::OscillatorParams{}, rng.fork());
+  PoolParams pp;
+  pp.server_count = 1;
+  pp.kiss_of_death_count = 1;
+  ServerPool pool(pp, rng.fork());
+  SntpClientPolicy policy;
+  policy.poll_interval = Duration::seconds(8);
+  policy.kod_backoff_factor = 2.0;
+  policy.max_poll_interval = Duration::seconds(64);
+  SntpClient client(sim, clock, pool, nullptr, nullptr, policy);
+  client.start();
+  sim.run_until(TimePoint::epoch() + Duration::minutes(20));
+  // Each KoD doubles the interval until the cap: 8 -> 16 -> 32 -> 64.
+  EXPECT_GE(client.kod_backoffs(), 3u);
+  EXPECT_EQ(client.current_poll_interval(), Duration::seconds(64));
+  EXPECT_TRUE(client.samples().empty());
+  // The backoff means far fewer polls than the base cadence would issue.
+  EXPECT_LT(client.polls(), 1200u / 8u);
+}
+
+TEST(KissOfDeath, IgnoredWhenPolicyDisabled) {
+  Rng rng(505);
+  sim::Simulation sim;
+  sim::DisciplinedClock clock(sim::OscillatorParams{}, rng.fork());
+  PoolParams pp;
+  pp.server_count = 1;
+  pp.kiss_of_death_count = 1;
+  ServerPool pool(pp, rng.fork());
+  SntpClientPolicy policy;
+  policy.poll_interval = Duration::seconds(8);
+  policy.honor_kiss_of_death = false;
+  SntpClient client(sim, clock, pool, nullptr, nullptr, policy);
+  client.start();
+  sim.run_until(TimePoint::epoch() + Duration::minutes(4));
+  EXPECT_EQ(client.kod_backoffs(), 0u);
+  EXPECT_EQ(client.current_poll_interval(), Duration::seconds(8));
+  EXPECT_GE(client.polls(), 29u);  // kept hammering, as bad clients do
+}
+
+TEST(AdaptivePoll, LengthensWhenTrackingWell) {
+  TestbedConfig config;
+  config.seed = 502;
+  config.wireless = false;
+  config.monitor_active = false;
+  config.ntp.adaptive_poll = true;
+  config.ntp.max_poll_interval = Duration::seconds(256);
+  Testbed bed(config);
+  bed.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::hours(2));
+  // On a clean wired path the tracking is tight: the poll interval must
+  // have grown well beyond the 16 s base.
+  EXPECT_GE(bed.ntp_client()->current_poll_interval(), Duration::seconds(64));
+  // And the clock is still fine.
+  EXPECT_LT(std::abs(bed.true_clock_offset_ms()), 10.0);
+}
+
+TEST(AdaptivePoll, ReducesTrafficVersusFixed) {
+  auto updates = [](bool adaptive) {
+    TestbedConfig config;
+    config.seed = 503;
+    config.wireless = false;
+    config.monitor_active = false;
+    config.ntp.adaptive_poll = adaptive;
+    Testbed bed(config);
+    bed.start();
+    bed.sim().run_until(TimePoint::epoch() + Duration::hours(4));
+    return bed.ntp_client()->updates();
+  };
+  EXPECT_LT(updates(true), updates(false) / 2);
+}
+
+TEST(AdaptivePoll, DisabledByDefault) {
+  TestbedConfig config;
+  config.seed = 504;
+  config.wireless = false;
+  config.monitor_active = false;
+  Testbed bed(config);
+  bed.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::hours(1));
+  EXPECT_EQ(bed.ntp_client()->current_poll_interval(), Duration::seconds(16));
+}
+
+}  // namespace
+}  // namespace mntp::ntp

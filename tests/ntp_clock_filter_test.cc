@@ -1,0 +1,146 @@
+#include "ntp/clock_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace mntp::ntp {
+namespace {
+
+using core::Duration;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+TEST(ClockFilter, RejectsZeroStages) {
+  ClockFilterParams p;
+  p.stages = 0;
+  EXPECT_THROW(ClockFilter{p}, std::invalid_argument);
+}
+
+TEST(ClockFilter, NominatesMinDelaySample) {
+  ClockFilter f;
+  (void)f.update(Duration::milliseconds(5), Duration::milliseconds(40), at_s(1));
+  (void)f.update(Duration::milliseconds(100), Duration::milliseconds(400), at_s(2));
+  const auto est = f.update(Duration::milliseconds(6), Duration::milliseconds(30),
+                            at_s(3));
+  ASSERT_TRUE(est.has_value());
+  // Min-delay sample is the 30 ms one; its offset is nominated.
+  EXPECT_EQ(est->offset, Duration::milliseconds(6));
+  EXPECT_EQ(est->delay, Duration::milliseconds(30));
+}
+
+TEST(ClockFilter, SpikeDoesNotChangeNomination) {
+  ClockFilter f;
+  (void)f.update(Duration::milliseconds(2), Duration::milliseconds(20), at_s(1));
+  const auto est = f.update(Duration::milliseconds(600),
+                            Duration::milliseconds(1300), at_s(2));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->offset, Duration::milliseconds(2));
+}
+
+TEST(ClockFilter, WindowEvictsOldSamples) {
+  ClockFilterParams p;
+  p.stages = 3;
+  ClockFilter f(p);
+  (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(1));
+  (void)f.update(Duration::milliseconds(2), Duration::milliseconds(50), at_s(2));
+  (void)f.update(Duration::milliseconds(3), Duration::milliseconds(60), at_s(3));
+  // The 10 ms-delay sample falls out of the 3-stage window here.
+  const auto est = f.update(Duration::milliseconds(4), Duration::milliseconds(70),
+                            at_s(4));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->delay, Duration::milliseconds(50));
+  EXPECT_EQ(est->offset, Duration::milliseconds(2));
+}
+
+TEST(ClockFilter, DispersionAgesWithSampleAge) {
+  ClockFilterParams p;
+  p.phi = 15e-6;
+  p.base_dispersion = Duration::microseconds(500);
+  ClockFilter f(p);
+  (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(0));
+  // 100 s later the nominated (old) sample has aged.
+  const auto est = f.update(Duration::milliseconds(2),
+                            Duration::milliseconds(500), at_s(100));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->dispersion.to_seconds(), 500e-6 + 15e-6 * 100.0, 1e-6);
+}
+
+TEST(ClockFilter, JitterReflectsOffsetSpread) {
+  ClockFilter f;
+  (void)f.update(Duration::milliseconds(0), Duration::milliseconds(10), at_s(1));
+  (void)f.update(Duration::milliseconds(8), Duration::milliseconds(20), at_s(2));
+  const auto est = f.update(Duration::milliseconds(-8),
+                            Duration::milliseconds(20), at_s(3));
+  ASSERT_TRUE(est.has_value());
+  // Nominated offset 0; other offsets +-8 ms -> jitter 8 ms.
+  EXPECT_NEAR(est->jitter_s, 8e-3, 1e-6);
+}
+
+TEST(ClockFilter, PopcornSuppressorSwallowsLoneSpike) {
+  ClockFilterParams p;
+  p.popcorn_gate = 3.0;
+  p.popcorn_jitter_floor_s = 5e-3;
+  ClockFilter f(p);
+  (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(1));
+  (void)f.update(Duration::milliseconds(2), Duration::milliseconds(11), at_s(2));
+  // 500 ms offset >> 3 * max(jitter, 5 ms): suppressed.
+  const auto est = f.update(Duration::milliseconds(500),
+                            Duration::milliseconds(12), at_s(3));
+  EXPECT_FALSE(est.has_value());
+  EXPECT_EQ(f.samples_suppressed(), 1u);
+  // Filter state still serves the previous estimate.
+  ASSERT_TRUE(f.current().has_value());
+  EXPECT_EQ(f.current()->offset, Duration::milliseconds(1));
+}
+
+TEST(ClockFilter, PopcornDisabledByDefault) {
+  ClockFilter f;  // default params
+  (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(1));
+  const auto est = f.update(Duration::milliseconds(500),
+                            Duration::milliseconds(11), at_s(2));
+  EXPECT_TRUE(est.has_value());
+  EXPECT_EQ(f.samples_suppressed(), 0u);
+}
+
+TEST(ClockFilter, FreshnessConsumedOnce) {
+  ClockFilter f;
+  const auto e1 = f.update(Duration::milliseconds(1), Duration::milliseconds(10),
+                           at_s(1));
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_TRUE(e1->fresh);
+  // New sample with larger delay: the *old* sample stays nominated, and
+  // its nomination has already been consumed.
+  const auto e2 = f.update(Duration::milliseconds(2), Duration::milliseconds(90),
+                           at_s(2));
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_FALSE(e2->fresh);
+  // A new min-delay sample is a fresh nomination.
+  const auto e3 = f.update(Duration::milliseconds(3), Duration::milliseconds(5),
+                           at_s(3));
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_TRUE(e3->fresh);
+}
+
+TEST(ClockFilter, ResetClearsEverything) {
+  ClockFilter f;
+  (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(1));
+  f.reset();
+  EXPECT_FALSE(f.current().has_value());
+  EXPECT_EQ(f.samples_seen(), 0u);
+  const auto est = f.update(Duration::milliseconds(2), Duration::milliseconds(10),
+                            at_s(2));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(est->fresh);
+}
+
+TEST(PeerEstimate, RootDistance) {
+  PeerEstimate e;
+  e.delay = Duration::milliseconds(40);
+  e.dispersion = Duration::milliseconds(3);
+  EXPECT_EQ(e.root_distance(), Duration::milliseconds(23));
+}
+
+}  // namespace
+}  // namespace mntp::ntp

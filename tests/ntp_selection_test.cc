@@ -1,0 +1,134 @@
+#include "ntp/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mntp::ntp {
+namespace {
+
+using core::Duration;
+
+PeerEstimate peer(double offset_ms, double rootdist_ms, double jitter_ms = 1.0) {
+  PeerEstimate e;
+  e.offset = Duration::from_millis(offset_ms);
+  e.delay = Duration::from_millis(rootdist_ms);  // delay/2 + disp = rd
+  e.dispersion = Duration::from_millis(rootdist_ms / 2.0);
+  e.jitter_s = jitter_ms * 1e-3;
+  return e;
+}
+
+bool contains(const std::vector<std::size_t>& v, std::size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(Selection, EmptyInput) {
+  EXPECT_TRUE(select_truechimers({}).empty());
+}
+
+TEST(Selection, SinglePeerSurvives) {
+  const auto out = select_truechimers({peer(100, 10)});
+  EXPECT_EQ(out, std::vector<std::size_t>{0});
+}
+
+TEST(Selection, AgreeingPeersAllSurvive) {
+  const auto out =
+      select_truechimers({peer(1, 10), peer(2, 10), peer(0, 10), peer(1.5, 10)});
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Selection, SingleFalseTickerExcluded) {
+  // Three peers near zero, one at 350 ms with a tight interval.
+  const auto out = select_truechimers(
+      {peer(1, 10), peer(-2, 10), peer(2, 10), peer(350, 10)});
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_FALSE(contains(out, 3));
+}
+
+TEST(Selection, TwoFalseTickersOfFive) {
+  const auto out = select_truechimers(
+      {peer(350, 5), peer(0, 10), peer(1, 10), peer(-1, 10), peer(-400, 5)});
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(contains(out, 1));
+  EXPECT_TRUE(contains(out, 2));
+  EXPECT_TRUE(contains(out, 3));
+}
+
+TEST(Selection, NoMajorityMeansEmpty) {
+  // Two far-apart tight cliques of equal size: no majority clique.
+  const auto out = select_truechimers(
+      {peer(0, 1), peer(1, 1), peer(500, 1), peer(501, 1)});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Selection, WideIntervalRescuesDisagreement) {
+  // A peer far away but with a huge root distance still intersects.
+  const auto out = select_truechimers(
+      {peer(0, 5), peer(2, 5), peer(100, 200)});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Cluster, KeepsAtLeastMinSurvivors) {
+  std::vector<PeerEstimate> peers{peer(0, 10, 1), peer(1, 10, 1),
+                                  peer(2, 10, 1), peer(50, 10, 1)};
+  ClusterParams params;
+  params.min_survivors = 3;
+  const auto out = cluster_survivors(peers, {0, 1, 2, 3}, params);
+  EXPECT_GE(out.size(), 3u);
+}
+
+TEST(Cluster, PrunesHighSelectionJitterOutlier) {
+  // Peer 3 sits far from the cluster: its selection jitter dominates.
+  std::vector<PeerEstimate> peers{peer(0, 10, 0.1), peer(0.2, 10, 0.1),
+                                  peer(-0.2, 10, 0.1), peer(30, 10, 0.1)};
+  ClusterParams params;
+  params.min_survivors = 2;
+  const auto out = cluster_survivors(peers, {0, 1, 2, 3}, params);
+  EXPECT_FALSE(contains(out, 3));
+}
+
+TEST(Cluster, StopsWhenJitterBalanced) {
+  // All peers tight: no pruning happens even with room to prune.
+  std::vector<PeerEstimate> peers{peer(0, 10, 5), peer(0.5, 10, 5),
+                                  peer(-0.5, 10, 5), peer(0.2, 10, 5)};
+  ClusterParams params;
+  params.min_survivors = 1;
+  const auto out = cluster_survivors(peers, {0, 1, 2, 3}, params);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Combine, ThrowsOnEmpty) {
+  EXPECT_THROW((void)combine_offsets({peer(0, 1)}, {}), std::invalid_argument);
+}
+
+TEST(Combine, SinglePeerPassthrough) {
+  const auto offset = combine_offsets({peer(42, 10)}, {0});
+  EXPECT_NEAR(offset.to_millis(), 42.0, 1e-9);
+}
+
+TEST(Combine, WeightsByInverseRootDistance) {
+  // Peer 0: offset 10 ms, rootdist 10 ms (weight 100).
+  // Peer 1: offset 40 ms, rootdist 30 ms (weight 33.3).
+  const auto offset = combine_offsets({peer(10, 10), peer(40, 30)}, {0, 1});
+  const double w0 = 1.0 / 0.010, w1 = 1.0 / 0.030;
+  const double expected = (w0 * 10.0 + w1 * 40.0) / (w0 + w1);
+  EXPECT_NEAR(offset.to_millis(), expected, 0.01);
+  // Closer to the low-root-distance peer.
+  EXPECT_LT(offset.to_millis(), 25.0);
+}
+
+TEST(SelectionPipeline, EndToEndAgainstFalseTicker) {
+  // The full mitigation: select -> cluster -> combine with one false
+  // ticker; result lands near the honest cluster.
+  std::vector<PeerEstimate> peers{peer(1.0, 12, 0.5), peer(-0.5, 15, 0.4),
+                                  peer(0.2, 10, 0.3), peer(420, 8, 0.2)};
+  auto chimers = select_truechimers(peers);
+  ASSERT_FALSE(chimers.empty());
+  EXPECT_FALSE(contains(chimers, 3));
+  chimers = cluster_survivors(peers, std::move(chimers), {});
+  const auto combined = combine_offsets(peers, chimers);
+  EXPECT_LT(std::abs(combined.to_millis()), 2.0);
+}
+
+}  // namespace
+}  // namespace mntp::ntp

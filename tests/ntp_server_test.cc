@@ -1,0 +1,124 @@
+#include "ntp/server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ntp_timestamp.h"
+
+namespace mntp::ntp {
+namespace {
+
+using core::Duration;
+using core::NtpTimestamp;
+using core::Rng;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+NtpServerParams perfect_server() {
+  NtpServerParams p;
+  p.clock_offset_s = 0.0;
+  p.clock_skew_ppm = 0.0;
+  p.processing_mean = Duration::microseconds(100);
+  return p;
+}
+
+std::array<std::uint8_t, NtpPacket::kWireSize> request_at(double t) {
+  return NtpPacket::make_sntp_request(
+             NtpTimestamp::from_time_point(at_s(t)))
+      .to_bytes();
+}
+
+TEST(NtpServer, EchoesOriginAndStampsTimes) {
+  NtpServer server("s", perfect_server(), Rng(1));
+  const auto wire = request_at(0.25);
+  const auto reply = server.handle(wire, at_s(1.0));
+  ASSERT_TRUE(reply.ok());
+  const NtpPacket& p = reply.value().packet;
+  EXPECT_EQ(p.mode, Mode::kServer);
+  EXPECT_EQ(p.origin_ts, NtpTimestamp::from_time_point(at_s(0.25)));
+  // Receive stamp equals server time at arrival (perfect clock).
+  EXPECT_LE((p.receive_ts.to_time_point() - at_s(1.0)).abs().ns(), 2);
+  // Transmit after receive, and departure matches transmit stamp.
+  EXPECT_GT(p.transmit_ts, p.receive_ts);
+  EXPECT_GE(reply.value().departs, at_s(1.0));
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(NtpServer, AppliesClockOffsetToStamps) {
+  NtpServerParams params = perfect_server();
+  params.clock_offset_s = 0.5;
+  NtpServer server("off", params, Rng(2));
+  const auto reply = server.handle(request_at(0.0), at_s(1.0));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NEAR(
+      (reply.value().packet.receive_ts.to_time_point() - at_s(1.5)).to_seconds(),
+      0.0, 1e-6);
+}
+
+TEST(NtpServer, SkewAccumulates) {
+  NtpServerParams params = perfect_server();
+  params.clock_skew_ppm = 100.0;
+  NtpServer server("skew", params, Rng(3));
+  EXPECT_NEAR(server.clock_error_at(at_s(1000)), 0.1, 1e-9);  // 100ppm * 1000s
+  EXPECT_NEAR((server.server_time(at_s(1000)) - at_s(1000)).to_seconds(), 0.1,
+              1e-6);
+}
+
+TEST(NtpServer, RejectsMalformedWire) {
+  NtpServer server("s", perfect_server(), Rng(4));
+  const std::vector<std::uint8_t> junk(10, 0xFF);
+  EXPECT_FALSE(server.handle(junk, at_s(1)).ok());
+}
+
+TEST(NtpServer, RejectsNonClientMode) {
+  NtpServer server("s", perfect_server(), Rng(5));
+  NtpPacket p;
+  p.mode = Mode::kServer;
+  p.transmit_ts = NtpTimestamp::from_parts(1, 1);
+  EXPECT_FALSE(server.handle(p.to_bytes(), at_s(1)).ok());
+}
+
+TEST(NtpServer, KissOfDeathReply) {
+  NtpServerParams params = perfect_server();
+  params.kiss_of_death = true;
+  NtpServer server("kod", params, Rng(6));
+  const auto reply = server.handle(request_at(0.0), at_s(1.0));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().packet.is_kiss_of_death());
+  EXPECT_EQ(reply.value().packet.reference_id, kiss_code("RATE"));
+}
+
+TEST(NtpServer, AdvertisesRootDelayAndDispersion) {
+  NtpServerParams params = perfect_server();
+  params.root_delay = Duration::milliseconds(12);
+  params.root_dispersion = Duration::milliseconds(6);
+  NtpServer server("root", params, Rng(7));
+  const auto reply = server.handle(request_at(0.0), at_s(1.0));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NEAR(reply.value().packet.root_delay.to_duration().to_millis(), 12.0,
+              0.1);
+  EXPECT_NEAR(reply.value().packet.root_dispersion.to_duration().to_millis(),
+              6.0, 0.1);
+}
+
+TEST(NtpServer, VersionMirrorsRequest) {
+  NtpServer server("s", perfect_server(), Rng(8));
+  NtpPacket req = NtpPacket::make_sntp_request(NtpTimestamp::from_parts(5, 5));
+  req.version = 3;
+  const auto reply = server.handle(req.to_bytes(), at_s(1.0));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().packet.version, 3);
+}
+
+TEST(NtpServer, FalseTickerFactory) {
+  const NtpServerParams p = NtpServer::false_ticker(-0.35, 2.0);
+  EXPECT_DOUBLE_EQ(p.clock_offset_s, -0.35);
+  EXPECT_DOUBLE_EQ(p.clock_skew_ppm, 2.0);
+  NtpServer server("false", p, Rng(9));
+  EXPECT_NEAR(server.clock_error_at(TimePoint::epoch()), -0.35, 1e-12);
+}
+
+}  // namespace
+}  // namespace mntp::ntp

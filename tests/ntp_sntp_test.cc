@@ -1,0 +1,145 @@
+#include "ntp/sntp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace mntp::ntp {
+namespace {
+
+using core::Duration;
+using core::NtpTimestamp;
+using core::TimePoint;
+
+NtpTimestamp ts_at(double seconds) {
+  return NtpTimestamp::from_time_point(TimePoint::epoch() +
+                                       Duration::from_seconds(seconds));
+}
+
+TEST(SntpExchange, SymmetricPathPerfectClocksGiveZeroOffset) {
+  // Client perfect, both one-way delays 50 ms.
+  const SntpExchange x{
+      .t1 = ts_at(0.000),
+      .t2 = ts_at(0.050),
+      .t3 = ts_at(0.051),
+      .t4 = ts_at(0.101),
+  };
+  EXPECT_NEAR(x.offset().to_millis(), 0.0, 0.01);
+  EXPECT_NEAR(x.delay().to_millis(), 100.0, 0.01);
+}
+
+TEST(SntpExchange, ClientBehindYieldsPositiveOffset) {
+  // Client clock 200 ms behind true time; symmetric 10 ms paths.
+  // T1/T4 are stamped 200 ms early relative to server time.
+  const SntpExchange x{
+      .t1 = ts_at(0.000 - 0.200),
+      .t2 = ts_at(0.010),
+      .t3 = ts_at(0.011),
+      .t4 = ts_at(0.021 - 0.200),
+  };
+  EXPECT_NEAR(x.offset().to_millis(), 200.0, 0.01);
+  EXPECT_NEAR(x.delay().to_millis(), 20.0, 0.01);
+}
+
+TEST(SntpExchange, AsymmetryBiasesOffsetByHalf) {
+  // Perfect clocks, uplink 300 ms, downlink 20 ms.
+  const SntpExchange x{
+      .t1 = ts_at(0.000),
+      .t2 = ts_at(0.300),
+      .t3 = ts_at(0.301),
+      .t4 = ts_at(0.321),
+  };
+  EXPECT_NEAR(x.offset().to_millis(), (300.0 - 20.0) / 2.0, 0.01);
+  EXPECT_NEAR(x.delay().to_millis(), 320.0, 0.01);
+}
+
+TEST(SntpExchangeProperty, OffsetFormulaHoldsForRandomScenarios) {
+  core::Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double clock_err = rng.uniform(-0.5, 0.5);   // client - true
+    const double up = rng.uniform(0.001, 0.8);
+    const double down = rng.uniform(0.001, 0.8);
+    const double proc = rng.uniform(0.0, 0.01);
+    const double t_send = rng.uniform(0.0, 100.0);
+    const SntpExchange x{
+        .t1 = ts_at(t_send + clock_err),
+        .t2 = ts_at(t_send + up),
+        .t3 = ts_at(t_send + up + proc),
+        .t4 = ts_at(t_send + up + proc + down + clock_err),
+    };
+    // offset = (server - client) = -clock_err + (up - down)/2.
+    ASSERT_NEAR(x.offset().to_seconds(), -clock_err + (up - down) / 2.0, 1e-6);
+    ASSERT_NEAR(x.delay().to_seconds(), up + down, 1e-6);
+  }
+}
+
+NtpPacket good_reply(NtpTimestamp origin) {
+  NtpPacket p;
+  p.mode = Mode::kServer;
+  p.stratum = 2;
+  p.leap = LeapIndicator::kNoWarning;
+  p.origin_ts = origin;
+  p.receive_ts = ts_at(1.0);
+  p.transmit_ts = ts_at(1.001);
+  return p;
+}
+
+TEST(ValidateSntpResponse, AcceptsGoodReply) {
+  const auto origin = ts_at(0.5);
+  EXPECT_TRUE(validate_sntp_response(good_reply(origin), origin).ok());
+}
+
+TEST(ValidateSntpResponse, RejectsWrongMode) {
+  const auto origin = ts_at(0.5);
+  NtpPacket p = good_reply(origin);
+  p.mode = Mode::kClient;
+  const auto s = validate_sntp_response(p, origin);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, core::Error::Code::kMalformedPacket);
+}
+
+TEST(ValidateSntpResponse, RejectsKissOfDeath) {
+  const auto origin = ts_at(0.5);
+  NtpPacket p = good_reply(origin);
+  p.stratum = 0;
+  const auto s = validate_sntp_response(p, origin);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, core::Error::Code::kKissOfDeath);
+}
+
+TEST(ValidateSntpResponse, RejectsInvalidStratum) {
+  const auto origin = ts_at(0.5);
+  NtpPacket p = good_reply(origin);
+  p.stratum = 16;
+  EXPECT_FALSE(validate_sntp_response(p, origin).ok());
+}
+
+TEST(ValidateSntpResponse, RejectsUnsynchronizedLeap) {
+  const auto origin = ts_at(0.5);
+  NtpPacket p = good_reply(origin);
+  p.leap = LeapIndicator::kUnsynchronized;
+  EXPECT_FALSE(validate_sntp_response(p, origin).ok());
+}
+
+TEST(ValidateSntpResponse, RejectsZeroTransmit) {
+  const auto origin = ts_at(0.5);
+  NtpPacket p = good_reply(origin);
+  p.transmit_ts = NtpTimestamp::unset();
+  EXPECT_FALSE(validate_sntp_response(p, origin).ok());
+}
+
+TEST(ValidateSntpResponse, RejectsBogusOrigin) {
+  const auto origin = ts_at(0.5);
+  NtpPacket p = good_reply(ts_at(0.6));  // echoes the wrong origin
+  EXPECT_FALSE(validate_sntp_response(p, origin).ok());
+}
+
+TEST(ValidateSntpResponse, AcceptsSymmetricPassive) {
+  const auto origin = ts_at(0.5);
+  NtpPacket p = good_reply(origin);
+  p.mode = Mode::kSymmetricPassive;
+  EXPECT_TRUE(validate_sntp_response(p, origin).ok());
+}
+
+}  // namespace
+}  // namespace mntp::ntp

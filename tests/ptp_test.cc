@@ -1,0 +1,197 @@
+// PTP substrate tests: wire format, exchange math, servo, and the full
+// master/slave synchronization loop on a LAN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+#include "net/wired_link.h"
+#include "ptp/clock_servo.h"
+#include "ptp/message.h"
+#include "ptp/ptp_nodes.h"
+#include "sim/simulation.h"
+
+namespace mntp::ptp {
+namespace {
+
+using core::Duration;
+using core::Rng;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+TEST(PtpTimestamp, RoundTripsThroughTimePoint) {
+  const TimePoint t = at_s(123.456789123);
+  const PtpTimestamp ts = PtpTimestamp::from_time_point(t);
+  EXPECT_EQ(ts.to_time_point(), t);
+  EXPECT_LT(ts.nanoseconds, 1'000'000'000u);
+}
+
+TEST(PtpTimestamp, DifferenceSpansSecondBoundaries) {
+  const auto a = PtpTimestamp::from_time_point(at_s(10.9));
+  const auto b = PtpTimestamp::from_time_point(at_s(11.1));
+  EXPECT_NEAR((b - a).to_millis(), 200.0, 1e-6);
+  EXPECT_NEAR((a - b).to_millis(), -200.0, 1e-6);
+}
+
+TEST(PtpMessage, SerializeParseRoundTrip) {
+  PtpMessage m;
+  m.type = MessageType::kFollowUp;
+  m.domain = 3;
+  m.clock_identity = 0x0123456789ABCDEFull;
+  m.port_number = 7;
+  m.sequence_id = 0xBEEF;
+  m.log_message_interval = -2;
+  m.timestamp = PtpTimestamp{.seconds = 0x0000ABCD1234ull, .nanoseconds = 999'999'999};
+  const auto parsed = PtpMessage::parse(m.to_bytes());
+  ASSERT_TRUE(parsed.ok());
+  const PtpMessage& q = parsed.value();
+  EXPECT_EQ(q.type, m.type);
+  EXPECT_EQ(q.domain, m.domain);
+  EXPECT_EQ(q.clock_identity, m.clock_identity);
+  EXPECT_EQ(q.port_number, m.port_number);
+  EXPECT_EQ(q.sequence_id, m.sequence_id);
+  EXPECT_EQ(q.log_message_interval, m.log_message_interval);
+  EXPECT_EQ(q.timestamp, m.timestamp);
+}
+
+TEST(PtpMessage, ParseRejectsBadInput) {
+  std::vector<std::uint8_t> short_wire(20, 0);
+  EXPECT_FALSE(PtpMessage::parse(short_wire).ok());
+
+  PtpMessage m;
+  auto wire = m.to_bytes();
+  wire[1] = 1;  // PTPv1
+  EXPECT_FALSE(PtpMessage::parse(wire).ok());
+
+  wire = m.to_bytes();
+  wire[0] = 0x05;  // unsupported type
+  EXPECT_FALSE(PtpMessage::parse(wire).ok());
+
+  wire = m.to_bytes();
+  wire[40] = 0x40;  // nanoseconds > 1e9
+  EXPECT_FALSE(PtpMessage::parse(wire).ok());
+}
+
+TEST(PtpExchange, OffsetAndDelayFormulas) {
+  // Master perfect; slave +5 ms ahead; symmetric 2 ms path, 1 ms between
+  // Sync receipt and Delay_Req issue.
+  const auto T = [](double s) { return PtpTimestamp::from_time_point(at_s(s)); };
+  const PtpExchange x{
+      .t1 = T(10.000),          // master Sync departure (master time)
+      .t2 = T(10.002 + 0.005),  // slave Sync arrival (slave time, +5 ms)
+      .t3 = T(10.003 + 0.005),  // slave Delay_Req departure (slave time)
+      .t4 = T(10.005),          // master Delay_Req arrival (master time)
+  };
+  EXPECT_NEAR(x.offset_from_master().to_millis(), 5.0, 1e-6);
+  EXPECT_NEAR(x.mean_path_delay().to_millis(), 2.0, 1e-6);
+}
+
+TEST(ClockServo, StepsLargeOffsets) {
+  Rng rng(1);
+  sim::DisciplinedClock clock(sim::OscillatorParams{.initial_offset_s = 0.5},
+                              rng.fork());
+  ClockServo servo(clock);
+  (void)clock.offset_at(at_s(1));
+  servo.update(at_s(1), Duration::milliseconds(500), Duration::seconds(1));
+  EXPECT_EQ(servo.steps(), 1u);
+  EXPECT_NEAR(clock.offset_at(at_s(1.01)), 0.0, 1e-6);
+}
+
+TEST(ClockServo, SlewsSmallOffsetsAndLearnsFrequency) {
+  Rng rng(2);
+  sim::DisciplinedClock clock(sim::OscillatorParams{.constant_skew_ppm = 50.0},
+                              rng.fork());
+  ClockServo servo(clock);
+  // Feed the servo the true offset once a second for two minutes.
+  for (int i = 1; i <= 120; ++i) {
+    const TimePoint t = at_s(i);
+    const Duration offset = Duration::from_seconds(clock.offset_at(t));
+    servo.update(t, offset, Duration::seconds(1));
+  }
+  // The frequency integral should have learned roughly -50 ppm.
+  EXPECT_NEAR(servo.frequency_ppm(), -50.0, 10.0);
+  EXPECT_LT(std::abs(clock.offset_at(at_s(121))), 1e-4);
+}
+
+struct LanFixture {
+  LanFixture(double slave_offset_s, double slave_skew_ppm,
+             double timestamp_noise_s = 100e-9)
+      : rng(33),
+        clock(sim::OscillatorParams{.initial_offset_s = slave_offset_s,
+                                    .constant_skew_ppm = slave_skew_ppm},
+              rng.fork()),
+        m2s(net::WiredLinkParams::lan(), rng.fork()),
+        s2m(net::WiredLinkParams::lan(), rng.fork()),
+        master(sim, PtpMasterParams{.timestamp_noise_s = timestamp_noise_s},
+               rng.fork()),
+        slave(sim, clock,
+              PtpSlaveParams{.timestamp_noise_s = timestamp_noise_s, .servo = {}},
+              rng.fork()) {
+    master.attach(slave, net::LinkPath({&m2s}), net::LinkPath({&s2m}));
+  }
+
+  Rng rng;
+  sim::Simulation sim;
+  sim::DisciplinedClock clock;
+  net::WiredLink m2s;
+  net::WiredLink s2m;
+  PtpMaster master;
+  PtpSlave slave;
+};
+
+TEST(PtpLan, ExchangesComplete) {
+  LanFixture f(0.0, 0.0);
+  f.master.start();
+  f.sim.run_until(at_s(60));
+  EXPECT_GE(f.master.syncs_sent(), 59u);
+  // Tiny LAN loss means nearly all exchanges complete.
+  EXPECT_GT(f.slave.exchanges_completed(), 50u);
+  EXPECT_EQ(f.slave.malformed_dropped(), 0u);
+}
+
+TEST(PtpLan, SynchronizesColdSlaveToSubMillisecond) {
+  LanFixture f(/*offset*/ 0.25, /*skew*/ 30.0);
+  f.master.start();
+  f.sim.run_until(at_s(120));
+  // After two minutes of 1 Hz servo updates the slave clock tracks the
+  // master well below a millisecond.
+  core::RunningStats tail;
+  for (int i = 0; i < 60; ++i) {
+    f.sim.run_until(at_s(121 + i));
+    tail.add(std::abs(f.clock.offset_at(f.sim.now())) * 1e3);
+  }
+  EXPECT_LT(tail.mean(), 0.5);  // ms
+}
+
+TEST(PtpLan, HardwareTimestampingBeatsSoftware) {
+  auto steady_error = [](double noise_s) {
+    LanFixture f(0.01, 5.0, noise_s);
+    f.master.start();
+    f.sim.run_until(at_s(180));
+    core::RunningStats tail;
+    for (int i = 0; i < 120; ++i) {
+      f.sim.run_until(at_s(181 + i));
+      tail.add(std::abs(f.clock.offset_at(f.sim.now())));
+    }
+    return tail.mean();
+  };
+  const double hw = steady_error(100e-9);
+  const double sw = steady_error(50e-6);
+  EXPECT_LT(hw, sw);
+}
+
+TEST(PtpLan, MeasuredOffsetsTrackTrueOffsetInitially) {
+  LanFixture f(0.005, 0.0);  // slave 5 ms ahead
+  f.master.start();
+  f.sim.run_until(at_s(3));
+  ASSERT_FALSE(f.slave.measured_offsets_ms().empty());
+  // First measurement sees roughly the +5 ms error (before the servo
+  // corrects it away).
+  EXPECT_NEAR(f.slave.measured_offsets_ms().front(), 5.0, 1.5);
+}
+
+}  // namespace
+}  // namespace mntp::ptp

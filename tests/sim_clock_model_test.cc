@@ -1,0 +1,149 @@
+#include "sim/clock_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+
+namespace mntp::sim {
+namespace {
+
+using core::Duration;
+using core::Rng;
+using core::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::epoch() + Duration::from_seconds(s);
+}
+
+OscillatorParams pure_skew(double ppm) {
+  OscillatorParams p;
+  p.constant_skew_ppm = ppm;
+  return p;
+}
+
+TEST(OscillatorModel, ConstantSkewIntegratesExactly) {
+  OscillatorModel osc(pure_skew(10.0), Rng(1));
+  // +10 ppm over 1000 s = +10 ms.
+  EXPECT_NEAR(osc.offset_at(at_s(1000)) * 1e3, 10.0, 1e-6);
+  EXPECT_NEAR(osc.offset_at(at_s(3600)) * 1e3, 36.0, 1e-6);
+}
+
+TEST(OscillatorModel, InitialOffsetRespected) {
+  OscillatorParams p = pure_skew(0.0);
+  p.initial_offset_s = 0.25;
+  OscillatorModel osc(p, Rng(1));
+  EXPECT_DOUBLE_EQ(osc.offset_at(TimePoint::epoch()), 0.25);
+  EXPECT_DOUBLE_EQ(osc.offset_at(at_s(100)), 0.25);
+}
+
+TEST(OscillatorModel, NegativeSkewDriftsDown) {
+  OscillatorModel osc(pure_skew(-5.5), Rng(1));
+  EXPECT_NEAR(osc.offset_at(at_s(3600)) * 1e3, -19.8, 1e-3);
+}
+
+TEST(OscillatorModel, LocalTimeConsistentWithOffset) {
+  OscillatorModel osc(pure_skew(100.0), Rng(1));
+  const TimePoint t = at_s(50);
+  const double off = osc.offset_at(t);
+  EXPECT_NEAR((osc.local_time(t) - t).to_seconds(), off, 1e-12);
+}
+
+TEST(OscillatorModel, TimeBackwardsThrows) {
+  OscillatorModel osc(pure_skew(0.0), Rng(1));
+  (void)osc.offset_at(at_s(10));
+  EXPECT_THROW((void)osc.offset_at(at_s(5)), std::logic_error);
+}
+
+TEST(OscillatorModel, RejectsZeroIntegrationStep) {
+  OscillatorParams p;
+  p.integration_step = Duration::zero();
+  EXPECT_THROW(OscillatorModel(p, Rng(1)), std::invalid_argument);
+}
+
+TEST(OscillatorModel, TemperatureTermIsBoundedAndPeriodic) {
+  OscillatorParams p = pure_skew(0.0);
+  p.temp_amplitude_ppm = 2.0;
+  p.temp_period = Duration::seconds(1000);
+  OscillatorModel osc(p, Rng(1));
+  // Integral of A*sin(2pi t/T) over a full period is zero: offset returns
+  // near its starting value each period.
+  const double at_full = osc.offset_at(at_s(1000));
+  EXPECT_NEAR(at_full * 1e3, 0.0, 0.05);
+  // Peak drift rate occurs in the first half period; the offset at T/2 is
+  // A*T/pi ppm-seconds = 2e-6 * 1000 / pi s ~ 0.64 ms.
+  OscillatorModel osc2(p, Rng(1));
+  EXPECT_NEAR(osc2.offset_at(at_s(500)) * 1e3, 2e-3 * 1000.0 / M_PI, 0.05);
+}
+
+TEST(OscillatorModel, WanderIsDeterministicPerSeed) {
+  OscillatorParams p = pure_skew(0.0);
+  p.wander_ppm_per_sqrt_s = 0.1;
+  OscillatorModel a(p, Rng(7));
+  OscillatorModel b(p, Rng(7));
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_DOUBLE_EQ(a.offset_at(at_s(i * 10)), b.offset_at(at_s(i * 10)));
+  }
+}
+
+TEST(OscillatorModel, WanderStaysClamped) {
+  OscillatorParams p = pure_skew(0.0);
+  p.wander_ppm_per_sqrt_s = 5.0;  // violent
+  p.wander_clamp_ppm = 2.0;
+  OscillatorModel osc(p, Rng(9));
+  (void)osc.offset_at(at_s(600));
+  EXPECT_LE(std::fabs(osc.current_skew_ppm()), 2.0 + 1e-9);
+}
+
+TEST(OscillatorModel, ReadNoiseDoesNotPerturbState) {
+  OscillatorParams p = pure_skew(0.0);
+  p.read_noise_s = 1e-3;
+  OscillatorModel osc(p, Rng(3));
+  core::RunningStats reads;
+  for (int i = 1; i <= 2000; ++i) {
+    reads.add(osc.read_offset(at_s(static_cast<double>(i))));
+  }
+  // Mean near the true offset (0), sd near the configured noise.
+  EXPECT_NEAR(reads.mean(), 0.0, 1e-4);
+  EXPECT_NEAR(reads.stddev(), 1e-3, 2e-4);
+  // State itself unaffected by reads.
+  EXPECT_DOUBLE_EQ(osc.offset_at(at_s(2000)), 0.0);
+}
+
+TEST(DisciplinedClock, StepShiftsPhase) {
+  DisciplinedClock c(pure_skew(0.0), Rng(1));
+  EXPECT_DOUBLE_EQ(c.offset_at(at_s(1)), 0.0);
+  c.step(Duration::milliseconds(50));
+  EXPECT_NEAR(c.offset_at(at_s(2)), 0.05, 1e-12);
+  c.step(Duration::milliseconds(-20));
+  EXPECT_NEAR(c.offset_at(at_s(3)), 0.03, 1e-12);
+  EXPECT_EQ(c.total_stepped(), Duration::milliseconds(70));
+}
+
+TEST(DisciplinedClock, FrequencyCompensationIntegrates) {
+  DisciplinedClock c(pure_skew(0.0), Rng(1));
+  (void)c.offset_at(at_s(0));
+  c.set_frequency_compensation(at_s(0), 10.0);  // +10 ppm
+  EXPECT_NEAR(c.offset_at(at_s(100)) * 1e3, 1.0, 1e-9);  // +1 ms per 100 s
+  c.set_frequency_compensation(at_s(100), -10.0);
+  EXPECT_NEAR(c.offset_at(at_s(200)) * 1e3, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.frequency_compensation_ppm(), -10.0);
+}
+
+TEST(DisciplinedClock, CompensationCancelsSkew) {
+  DisciplinedClock c(pure_skew(-8.0), Rng(1));
+  (void)c.offset_at(at_s(0));
+  c.set_frequency_compensation(at_s(0), 8.0);
+  EXPECT_NEAR(c.offset_at(at_s(1000)) * 1e3, 0.0, 1e-6);
+}
+
+TEST(DisciplinedClock, LocalTimeMatchesOffset) {
+  DisciplinedClock c(pure_skew(5.0), Rng(1));
+  c.step(Duration::milliseconds(10));
+  const TimePoint t = at_s(100);
+  EXPECT_NEAR((c.local_time(t) - t).to_seconds(), c.offset_at(t), 1e-12);
+}
+
+}  // namespace
+}  // namespace mntp::sim

@@ -1,0 +1,113 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mntp::sim {
+namespace {
+
+using core::Duration;
+using core::TimePoint;
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::epoch() + Duration::milliseconds(ms);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at_ms(30), [&] { order.push_back(3); });
+  q.schedule(at_ms(10), [&] { order.push_back(1); });
+  q.schedule(at_ms(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at_ms(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(at_ms(7), [] {});
+  EXPECT_EQ(q.run_next(), at_ms(7));
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsMax) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunNextOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.run_next(), std::logic_error);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(at_ms(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterRunIsNoop) {
+  EventQueue q;
+  EventHandle h = q.schedule(at_ms(1), [] {});
+  q.run_next();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or corrupt
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledMiddleEventSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at_ms(1), [&] { order.push_back(1); });
+  EventHandle h = q.schedule(at_ms(2), [&] { order.push_back(2); });
+  q.schedule(at_ms(3), [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, EventMaySchedule) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at_ms(1), [&] {
+    order.push_back(1);
+    q.schedule(at_ms(2), [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(at_ms(1), [&] { ran = true; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+}  // namespace
+}  // namespace mntp::sim
