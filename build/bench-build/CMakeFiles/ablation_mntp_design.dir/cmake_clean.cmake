@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mntp_design"
+  "../bench/ablation_mntp_design.pdb"
+  "CMakeFiles/ablation_mntp_design.dir/ablation_mntp_design.cc.o"
+  "CMakeFiles/ablation_mntp_design.dir/ablation_mntp_design.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mntp_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_protocol_family"
+  "../bench/ext_protocol_family.pdb"
+  "CMakeFiles/ext_protocol_family.dir/ext_protocol_family.cc.o"
+  "CMakeFiles/ext_protocol_family.dir/ext_protocol_family.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_protocol_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_self_tuning"
+  "../bench/ext_self_tuning.pdb"
+  "CMakeFiles/ext_self_tuning.dir/ext_self_tuning.cc.o"
+  "CMakeFiles/ext_self_tuning.dir/ext_self_tuning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_self_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_three_way_comparison"
+  "../bench/ext_three_way_comparison.pdb"
+  "CMakeFiles/ext_three_way_comparison.dir/ext_three_way_comparison.cc.o"
+  "CMakeFiles/ext_three_way_comparison.dir/ext_three_way_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_three_way_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

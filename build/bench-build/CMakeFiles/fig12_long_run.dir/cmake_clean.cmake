@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_long_run"
+  "../bench/fig12_long_run.pdb"
+  "CMakeFiles/fig12_long_run.dir/fig12_long_run.cc.o"
+  "CMakeFiles/fig12_long_run.dir/fig12_long_run.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_long_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_owd_providers"
+  "../bench/fig1_owd_providers.pdb"
+  "CMakeFiles/fig1_owd_providers.dir/fig1_owd_providers.cc.o"
+  "CMakeFiles/fig1_owd_providers.dir/fig1_owd_providers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_owd_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_protocol_share"
+  "../bench/fig2_protocol_share.pdb"
+  "CMakeFiles/fig2_protocol_share.dir/fig2_protocol_share.cc.o"
+  "CMakeFiles/fig2_protocol_share.dir/fig2_protocol_share.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_protocol_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

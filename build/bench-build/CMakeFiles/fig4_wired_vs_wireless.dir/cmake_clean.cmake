@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_wired_vs_wireless"
+  "../bench/fig4_wired_vs_wireless.pdb"
+  "CMakeFiles/fig4_wired_vs_wireless.dir/fig4_wired_vs_wireless.cc.o"
+  "CMakeFiles/fig4_wired_vs_wireless.dir/fig4_wired_vs_wireless.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_wired_vs_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

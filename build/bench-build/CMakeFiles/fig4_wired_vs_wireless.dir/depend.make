@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_wired_vs_wireless.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cellular"
+  "../bench/fig5_cellular.pdb"
+  "CMakeFiles/fig5_cellular.dir/fig5_cellular.cc.o"
+  "CMakeFiles/fig5_cellular.dir/fig5_cellular.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

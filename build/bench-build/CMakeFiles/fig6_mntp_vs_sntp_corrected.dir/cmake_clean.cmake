@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_mntp_vs_sntp_corrected"
+  "../bench/fig6_mntp_vs_sntp_corrected.pdb"
+  "CMakeFiles/fig6_mntp_vs_sntp_corrected.dir/fig6_mntp_vs_sntp_corrected.cc.o"
+  "CMakeFiles/fig6_mntp_vs_sntp_corrected.dir/fig6_mntp_vs_sntp_corrected.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mntp_vs_sntp_corrected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_mntp_vs_sntp_corrected.
+# This may be replaced when dependencies are built.

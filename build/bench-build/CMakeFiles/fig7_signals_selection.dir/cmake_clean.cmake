@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_signals_selection"
+  "../bench/fig7_signals_selection.pdb"
+  "CMakeFiles/fig7_signals_selection.dir/fig7_signals_selection.cc.o"
+  "CMakeFiles/fig7_signals_selection.dir/fig7_signals_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_signals_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_mntp_vs_sntp_freerun"
+  "../bench/fig8_mntp_vs_sntp_freerun.pdb"
+  "CMakeFiles/fig8_mntp_vs_sntp_freerun.dir/fig8_mntp_vs_sntp_freerun.cc.o"
+  "CMakeFiles/fig8_mntp_vs_sntp_freerun.dir/fig8_mntp_vs_sntp_freerun.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mntp_vs_sntp_freerun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_mntp_vs_sntp_freerun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_fig10_wired_sntp_vs_wireless_mntp"
+  "../bench/fig9_fig10_wired_sntp_vs_wireless_mntp.pdb"
+  "CMakeFiles/fig9_fig10_wired_sntp_vs_wireless_mntp.dir/fig9_fig10_wired_sntp_vs_wireless_mntp.cc.o"
+  "CMakeFiles/fig9_fig10_wired_sntp_vs_wireless_mntp.dir/fig9_fig10_wired_sntp_vs_wireless_mntp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fig10_wired_sntp_vs_wireless_mntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

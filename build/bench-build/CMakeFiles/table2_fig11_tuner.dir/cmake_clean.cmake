@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_fig11_tuner"
+  "../bench/table2_fig11_tuner.pdb"
+  "CMakeFiles/table2_fig11_tuner.dir/table2_fig11_tuner.cc.o"
+  "CMakeFiles/table2_fig11_tuner.dir/table2_fig11_tuner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fig11_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

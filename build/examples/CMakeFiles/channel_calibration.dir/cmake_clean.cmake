@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_calibration.dir/channel_calibration.cpp.o"
+  "CMakeFiles/channel_calibration.dir/channel_calibration.cpp.o.d"
+  "channel_calibration"
+  "channel_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_deployment.dir/full_deployment.cpp.o"
+  "CMakeFiles/full_deployment.dir/full_deployment.cpp.o.d"
+  "full_deployment"
+  "full_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

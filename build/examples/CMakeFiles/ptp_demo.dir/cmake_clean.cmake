@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptp_demo.dir/ptp_demo.cpp.o"
+  "CMakeFiles/ptp_demo.dir/ptp_demo.cpp.o.d"
+  "ptp_demo"
+  "ptp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_sweep.dir/tuner_sweep.cpp.o"
+  "CMakeFiles/tuner_sweep.dir/tuner_sweep.cpp.o.d"
+  "tuner_sweep"
+  "tuner_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

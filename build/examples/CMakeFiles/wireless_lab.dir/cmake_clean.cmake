@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_lab.dir/wireless_lab.cpp.o"
+  "CMakeFiles/wireless_lab.dir/wireless_lab.cpp.o.d"
+  "wireless_lab"
+  "wireless_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

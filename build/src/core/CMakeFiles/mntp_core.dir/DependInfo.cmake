@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allan.cc" "src/core/CMakeFiles/mntp_core.dir/allan.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/allan.cc.o.d"
+  "/root/repo/src/core/linreg.cc" "src/core/CMakeFiles/mntp_core.dir/linreg.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/linreg.cc.o.d"
+  "/root/repo/src/core/ntp_timestamp.cc" "src/core/CMakeFiles/mntp_core.dir/ntp_timestamp.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/ntp_timestamp.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/core/CMakeFiles/mntp_core.dir/result.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/result.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/mntp_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/mntp_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/table.cc.o.d"
+  "/root/repo/src/core/time.cc" "src/core/CMakeFiles/mntp_core.dir/time.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/time.cc.o.d"
+  "/root/repo/src/core/units.cc" "src/core/CMakeFiles/mntp_core.dir/units.cc.o" "gcc" "src/core/CMakeFiles/mntp_core.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

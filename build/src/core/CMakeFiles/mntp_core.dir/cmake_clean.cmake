@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_core.dir/allan.cc.o"
+  "CMakeFiles/mntp_core.dir/allan.cc.o.d"
+  "CMakeFiles/mntp_core.dir/linreg.cc.o"
+  "CMakeFiles/mntp_core.dir/linreg.cc.o.d"
+  "CMakeFiles/mntp_core.dir/ntp_timestamp.cc.o"
+  "CMakeFiles/mntp_core.dir/ntp_timestamp.cc.o.d"
+  "CMakeFiles/mntp_core.dir/result.cc.o"
+  "CMakeFiles/mntp_core.dir/result.cc.o.d"
+  "CMakeFiles/mntp_core.dir/stats.cc.o"
+  "CMakeFiles/mntp_core.dir/stats.cc.o.d"
+  "CMakeFiles/mntp_core.dir/table.cc.o"
+  "CMakeFiles/mntp_core.dir/table.cc.o.d"
+  "CMakeFiles/mntp_core.dir/time.cc.o"
+  "CMakeFiles/mntp_core.dir/time.cc.o.d"
+  "CMakeFiles/mntp_core.dir/units.cc.o"
+  "CMakeFiles/mntp_core.dir/units.cc.o.d"
+  "libmntp_core.a"
+  "libmntp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

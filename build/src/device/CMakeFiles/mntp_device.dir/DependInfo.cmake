@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device_sim.cc" "src/device/CMakeFiles/mntp_device.dir/device_sim.cc.o" "gcc" "src/device/CMakeFiles/mntp_device.dir/device_sim.cc.o.d"
+  "/root/repo/src/device/energy.cc" "src/device/CMakeFiles/mntp_device.dir/energy.cc.o" "gcc" "src/device/CMakeFiles/mntp_device.dir/energy.cc.o.d"
+  "/root/repo/src/device/gps.cc" "src/device/CMakeFiles/mntp_device.dir/gps.cc.o" "gcc" "src/device/CMakeFiles/mntp_device.dir/gps.cc.o.d"
+  "/root/repo/src/device/nitz.cc" "src/device/CMakeFiles/mntp_device.dir/nitz.cc.o" "gcc" "src/device/CMakeFiles/mntp_device.dir/nitz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mntp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mntp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mntp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/mntp_ntp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_device.dir/device_sim.cc.o"
+  "CMakeFiles/mntp_device.dir/device_sim.cc.o.d"
+  "CMakeFiles/mntp_device.dir/energy.cc.o"
+  "CMakeFiles/mntp_device.dir/energy.cc.o.d"
+  "CMakeFiles/mntp_device.dir/gps.cc.o"
+  "CMakeFiles/mntp_device.dir/gps.cc.o.d"
+  "CMakeFiles/mntp_device.dir/nitz.cc.o"
+  "CMakeFiles/mntp_device.dir/nitz.cc.o.d"
+  "libmntp_device.a"
+  "libmntp_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

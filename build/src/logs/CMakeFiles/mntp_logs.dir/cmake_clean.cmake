@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_logs.dir/analyze.cc.o"
+  "CMakeFiles/mntp_logs.dir/analyze.cc.o.d"
+  "CMakeFiles/mntp_logs.dir/classify.cc.o"
+  "CMakeFiles/mntp_logs.dir/classify.cc.o.d"
+  "CMakeFiles/mntp_logs.dir/generate.cc.o"
+  "CMakeFiles/mntp_logs.dir/generate.cc.o.d"
+  "libmntp_logs.a"
+  "libmntp_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

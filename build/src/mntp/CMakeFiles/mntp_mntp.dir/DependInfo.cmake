@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mntp/drift_filter.cc" "src/mntp/CMakeFiles/mntp_mntp.dir/drift_filter.cc.o" "gcc" "src/mntp/CMakeFiles/mntp_mntp.dir/drift_filter.cc.o.d"
+  "/root/repo/src/mntp/engine.cc" "src/mntp/CMakeFiles/mntp_mntp.dir/engine.cc.o" "gcc" "src/mntp/CMakeFiles/mntp_mntp.dir/engine.cc.o.d"
+  "/root/repo/src/mntp/false_ticker.cc" "src/mntp/CMakeFiles/mntp_mntp.dir/false_ticker.cc.o" "gcc" "src/mntp/CMakeFiles/mntp_mntp.dir/false_ticker.cc.o.d"
+  "/root/repo/src/mntp/mntp_client.cc" "src/mntp/CMakeFiles/mntp_mntp.dir/mntp_client.cc.o" "gcc" "src/mntp/CMakeFiles/mntp_mntp.dir/mntp_client.cc.o.d"
+  "/root/repo/src/mntp/self_tuning.cc" "src/mntp/CMakeFiles/mntp_mntp.dir/self_tuning.cc.o" "gcc" "src/mntp/CMakeFiles/mntp_mntp.dir/self_tuning.cc.o.d"
+  "/root/repo/src/mntp/trace.cc" "src/mntp/CMakeFiles/mntp_mntp.dir/trace.cc.o" "gcc" "src/mntp/CMakeFiles/mntp_mntp.dir/trace.cc.o.d"
+  "/root/repo/src/mntp/tuner.cc" "src/mntp/CMakeFiles/mntp_mntp.dir/tuner.cc.o" "gcc" "src/mntp/CMakeFiles/mntp_mntp.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mntp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mntp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mntp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/mntp_ntp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

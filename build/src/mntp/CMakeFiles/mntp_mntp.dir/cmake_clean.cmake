@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_mntp.dir/drift_filter.cc.o"
+  "CMakeFiles/mntp_mntp.dir/drift_filter.cc.o.d"
+  "CMakeFiles/mntp_mntp.dir/engine.cc.o"
+  "CMakeFiles/mntp_mntp.dir/engine.cc.o.d"
+  "CMakeFiles/mntp_mntp.dir/false_ticker.cc.o"
+  "CMakeFiles/mntp_mntp.dir/false_ticker.cc.o.d"
+  "CMakeFiles/mntp_mntp.dir/mntp_client.cc.o"
+  "CMakeFiles/mntp_mntp.dir/mntp_client.cc.o.d"
+  "CMakeFiles/mntp_mntp.dir/self_tuning.cc.o"
+  "CMakeFiles/mntp_mntp.dir/self_tuning.cc.o.d"
+  "CMakeFiles/mntp_mntp.dir/trace.cc.o"
+  "CMakeFiles/mntp_mntp.dir/trace.cc.o.d"
+  "CMakeFiles/mntp_mntp.dir/tuner.cc.o"
+  "CMakeFiles/mntp_mntp.dir/tuner.cc.o.d"
+  "libmntp_mntp.a"
+  "libmntp_mntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_mntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

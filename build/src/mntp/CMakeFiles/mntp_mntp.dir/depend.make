@@ -1,0 +1,2 @@
+# Empty dependencies file for mntp_mntp.
+# This may be replaced when dependencies are built.

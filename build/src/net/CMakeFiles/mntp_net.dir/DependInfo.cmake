@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cellular.cc" "src/net/CMakeFiles/mntp_net.dir/cellular.cc.o" "gcc" "src/net/CMakeFiles/mntp_net.dir/cellular.cc.o.d"
+  "/root/repo/src/net/cross_traffic.cc" "src/net/CMakeFiles/mntp_net.dir/cross_traffic.cc.o" "gcc" "src/net/CMakeFiles/mntp_net.dir/cross_traffic.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/mntp_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/mntp_net.dir/link.cc.o.d"
+  "/root/repo/src/net/monitor_controller.cc" "src/net/CMakeFiles/mntp_net.dir/monitor_controller.cc.o" "gcc" "src/net/CMakeFiles/mntp_net.dir/monitor_controller.cc.o.d"
+  "/root/repo/src/net/pinger.cc" "src/net/CMakeFiles/mntp_net.dir/pinger.cc.o" "gcc" "src/net/CMakeFiles/mntp_net.dir/pinger.cc.o.d"
+  "/root/repo/src/net/wired_link.cc" "src/net/CMakeFiles/mntp_net.dir/wired_link.cc.o" "gcc" "src/net/CMakeFiles/mntp_net.dir/wired_link.cc.o.d"
+  "/root/repo/src/net/wireless_channel.cc" "src/net/CMakeFiles/mntp_net.dir/wireless_channel.cc.o" "gcc" "src/net/CMakeFiles/mntp_net.dir/wireless_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mntp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mntp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

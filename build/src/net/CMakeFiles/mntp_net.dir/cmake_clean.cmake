@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_net.dir/cellular.cc.o"
+  "CMakeFiles/mntp_net.dir/cellular.cc.o.d"
+  "CMakeFiles/mntp_net.dir/cross_traffic.cc.o"
+  "CMakeFiles/mntp_net.dir/cross_traffic.cc.o.d"
+  "CMakeFiles/mntp_net.dir/link.cc.o"
+  "CMakeFiles/mntp_net.dir/link.cc.o.d"
+  "CMakeFiles/mntp_net.dir/monitor_controller.cc.o"
+  "CMakeFiles/mntp_net.dir/monitor_controller.cc.o.d"
+  "CMakeFiles/mntp_net.dir/pinger.cc.o"
+  "CMakeFiles/mntp_net.dir/pinger.cc.o.d"
+  "CMakeFiles/mntp_net.dir/wired_link.cc.o"
+  "CMakeFiles/mntp_net.dir/wired_link.cc.o.d"
+  "CMakeFiles/mntp_net.dir/wireless_channel.cc.o"
+  "CMakeFiles/mntp_net.dir/wireless_channel.cc.o.d"
+  "libmntp_net.a"
+  "libmntp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

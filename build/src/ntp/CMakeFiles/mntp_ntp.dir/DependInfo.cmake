@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntp/clock_filter.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/clock_filter.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/clock_filter.cc.o.d"
+  "/root/repo/src/ntp/ntp_client.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/ntp_client.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/ntp_client.cc.o.d"
+  "/root/repo/src/ntp/packet.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/packet.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/packet.cc.o.d"
+  "/root/repo/src/ntp/pool.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/pool.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/pool.cc.o.d"
+  "/root/repo/src/ntp/selection.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/selection.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/selection.cc.o.d"
+  "/root/repo/src/ntp/server.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/server.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/server.cc.o.d"
+  "/root/repo/src/ntp/sntp.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/sntp.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/sntp.cc.o.d"
+  "/root/repo/src/ntp/sntp_client.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/sntp_client.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/sntp_client.cc.o.d"
+  "/root/repo/src/ntp/testbed.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/testbed.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/testbed.cc.o.d"
+  "/root/repo/src/ntp/transport.cc" "src/ntp/CMakeFiles/mntp_ntp.dir/transport.cc.o" "gcc" "src/ntp/CMakeFiles/mntp_ntp.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mntp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mntp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mntp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

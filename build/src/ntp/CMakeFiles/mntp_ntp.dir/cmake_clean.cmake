@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_ntp.dir/clock_filter.cc.o"
+  "CMakeFiles/mntp_ntp.dir/clock_filter.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/ntp_client.cc.o"
+  "CMakeFiles/mntp_ntp.dir/ntp_client.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/packet.cc.o"
+  "CMakeFiles/mntp_ntp.dir/packet.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/pool.cc.o"
+  "CMakeFiles/mntp_ntp.dir/pool.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/selection.cc.o"
+  "CMakeFiles/mntp_ntp.dir/selection.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/server.cc.o"
+  "CMakeFiles/mntp_ntp.dir/server.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/sntp.cc.o"
+  "CMakeFiles/mntp_ntp.dir/sntp.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/sntp_client.cc.o"
+  "CMakeFiles/mntp_ntp.dir/sntp_client.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/testbed.cc.o"
+  "CMakeFiles/mntp_ntp.dir/testbed.cc.o.d"
+  "CMakeFiles/mntp_ntp.dir/transport.cc.o"
+  "CMakeFiles/mntp_ntp.dir/transport.cc.o.d"
+  "libmntp_ntp.a"
+  "libmntp_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmntp_ntp.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptp/clock_servo.cc" "src/ptp/CMakeFiles/mntp_ptp.dir/clock_servo.cc.o" "gcc" "src/ptp/CMakeFiles/mntp_ptp.dir/clock_servo.cc.o.d"
+  "/root/repo/src/ptp/message.cc" "src/ptp/CMakeFiles/mntp_ptp.dir/message.cc.o" "gcc" "src/ptp/CMakeFiles/mntp_ptp.dir/message.cc.o.d"
+  "/root/repo/src/ptp/ptp_nodes.cc" "src/ptp/CMakeFiles/mntp_ptp.dir/ptp_nodes.cc.o" "gcc" "src/ptp/CMakeFiles/mntp_ptp.dir/ptp_nodes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mntp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mntp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mntp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_ptp.dir/clock_servo.cc.o"
+  "CMakeFiles/mntp_ptp.dir/clock_servo.cc.o.d"
+  "CMakeFiles/mntp_ptp.dir/message.cc.o"
+  "CMakeFiles/mntp_ptp.dir/message.cc.o.d"
+  "CMakeFiles/mntp_ptp.dir/ptp_nodes.cc.o"
+  "CMakeFiles/mntp_ptp.dir/ptp_nodes.cc.o.d"
+  "libmntp_ptp.a"
+  "libmntp_ptp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_ptp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

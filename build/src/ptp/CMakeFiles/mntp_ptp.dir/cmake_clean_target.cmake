@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmntp_ptp.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_sim.dir/clock_model.cc.o"
+  "CMakeFiles/mntp_sim.dir/clock_model.cc.o.d"
+  "CMakeFiles/mntp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/mntp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/mntp_sim.dir/simulation.cc.o"
+  "CMakeFiles/mntp_sim.dir/simulation.cc.o.d"
+  "libmntp_sim.a"
+  "libmntp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

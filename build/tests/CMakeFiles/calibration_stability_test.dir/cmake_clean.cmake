@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_stability_test.dir/calibration_stability_test.cc.o"
+  "CMakeFiles/calibration_stability_test.dir/calibration_stability_test.cc.o.d"
+  "calibration_stability_test"
+  "calibration_stability_test.pdb"
+  "calibration_stability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

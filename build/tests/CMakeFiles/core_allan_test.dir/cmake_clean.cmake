@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_allan_test.dir/core_allan_test.cc.o"
+  "CMakeFiles/core_allan_test.dir/core_allan_test.cc.o.d"
+  "core_allan_test"
+  "core_allan_test.pdb"
+  "core_allan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_allan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_time_test.cc" "tests/CMakeFiles/core_time_test.dir/core_time_test.cc.o" "gcc" "tests/CMakeFiles/core_time_test.dir/core_time_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mntp/CMakeFiles/mntp_mntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptp/CMakeFiles/mntp_ptp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/mntp_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mntp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mntp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mntp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/mntp_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mntp_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_time_test.dir/core_time_test.cc.o"
+  "CMakeFiles/core_time_test.dir/core_time_test.cc.o.d"
+  "core_time_test"
+  "core_time_test.pdb"
+  "core_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_energy_gps_test.dir/device_energy_gps_test.cc.o"
+  "CMakeFiles/device_energy_gps_test.dir/device_energy_gps_test.cc.o.d"
+  "device_energy_gps_test"
+  "device_energy_gps_test.pdb"
+  "device_energy_gps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_energy_gps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

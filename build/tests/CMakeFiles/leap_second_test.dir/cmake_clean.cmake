@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leap_second_test.dir/leap_second_test.cc.o"
+  "CMakeFiles/leap_second_test.dir/leap_second_test.cc.o.d"
+  "leap_second_test"
+  "leap_second_test.pdb"
+  "leap_second_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leap_second_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_client_test.dir/mntp_client_test.cc.o"
+  "CMakeFiles/mntp_client_test.dir/mntp_client_test.cc.o.d"
+  "mntp_client_test"
+  "mntp_client_test.pdb"
+  "mntp_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_engine_test.dir/mntp_engine_test.cc.o"
+  "CMakeFiles/mntp_engine_test.dir/mntp_engine_test.cc.o.d"
+  "mntp_engine_test"
+  "mntp_engine_test.pdb"
+  "mntp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_extensions_test.dir/mntp_extensions_test.cc.o"
+  "CMakeFiles/mntp_extensions_test.dir/mntp_extensions_test.cc.o.d"
+  "mntp_extensions_test"
+  "mntp_extensions_test.pdb"
+  "mntp_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

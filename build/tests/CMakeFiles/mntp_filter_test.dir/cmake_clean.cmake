@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_filter_test.dir/mntp_filter_test.cc.o"
+  "CMakeFiles/mntp_filter_test.dir/mntp_filter_test.cc.o.d"
+  "mntp_filter_test"
+  "mntp_filter_test.pdb"
+  "mntp_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mntp_trace_tuner_test.dir/mntp_trace_tuner_test.cc.o"
+  "CMakeFiles/mntp_trace_tuner_test.dir/mntp_trace_tuner_test.cc.o.d"
+  "mntp_trace_tuner_test"
+  "mntp_trace_tuner_test.pdb"
+  "mntp_trace_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mntp_trace_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_traffic_test.dir/net_traffic_test.cc.o"
+  "CMakeFiles/net_traffic_test.dir/net_traffic_test.cc.o.d"
+  "net_traffic_test"
+  "net_traffic_test.pdb"
+  "net_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

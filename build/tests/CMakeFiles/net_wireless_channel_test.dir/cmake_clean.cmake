@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_wireless_channel_test.dir/net_wireless_channel_test.cc.o"
+  "CMakeFiles/net_wireless_channel_test.dir/net_wireless_channel_test.cc.o.d"
+  "net_wireless_channel_test"
+  "net_wireless_channel_test.pdb"
+  "net_wireless_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_wireless_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

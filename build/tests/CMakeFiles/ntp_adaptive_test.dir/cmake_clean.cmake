@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_adaptive_test.dir/ntp_adaptive_test.cc.o"
+  "CMakeFiles/ntp_adaptive_test.dir/ntp_adaptive_test.cc.o.d"
+  "ntp_adaptive_test"
+  "ntp_adaptive_test.pdb"
+  "ntp_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

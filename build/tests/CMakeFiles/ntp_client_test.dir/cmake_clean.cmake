@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_client_test.dir/ntp_client_test.cc.o"
+  "CMakeFiles/ntp_client_test.dir/ntp_client_test.cc.o.d"
+  "ntp_client_test"
+  "ntp_client_test.pdb"
+  "ntp_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_clock_filter_test.dir/ntp_clock_filter_test.cc.o"
+  "CMakeFiles/ntp_clock_filter_test.dir/ntp_clock_filter_test.cc.o.d"
+  "ntp_clock_filter_test"
+  "ntp_clock_filter_test.pdb"
+  "ntp_clock_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_clock_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

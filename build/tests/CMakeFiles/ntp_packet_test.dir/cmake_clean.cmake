@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_packet_test.dir/ntp_packet_test.cc.o"
+  "CMakeFiles/ntp_packet_test.dir/ntp_packet_test.cc.o.d"
+  "ntp_packet_test"
+  "ntp_packet_test.pdb"
+  "ntp_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_selection_test.dir/ntp_selection_test.cc.o"
+  "CMakeFiles/ntp_selection_test.dir/ntp_selection_test.cc.o.d"
+  "ntp_selection_test"
+  "ntp_selection_test.pdb"
+  "ntp_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

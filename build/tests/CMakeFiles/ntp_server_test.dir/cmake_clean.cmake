@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_server_test.dir/ntp_server_test.cc.o"
+  "CMakeFiles/ntp_server_test.dir/ntp_server_test.cc.o.d"
+  "ntp_server_test"
+  "ntp_server_test.pdb"
+  "ntp_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

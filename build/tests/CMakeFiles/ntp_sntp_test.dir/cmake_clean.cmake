@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_sntp_test.dir/ntp_sntp_test.cc.o"
+  "CMakeFiles/ntp_sntp_test.dir/ntp_sntp_test.cc.o.d"
+  "ntp_sntp_test"
+  "ntp_sntp_test.pdb"
+  "ntp_sntp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_sntp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

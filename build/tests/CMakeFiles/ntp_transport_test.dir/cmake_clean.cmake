@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_transport_test.dir/ntp_transport_test.cc.o"
+  "CMakeFiles/ntp_transport_test.dir/ntp_transport_test.cc.o.d"
+  "ntp_transport_test"
+  "ntp_transport_test.pdb"
+  "ntp_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

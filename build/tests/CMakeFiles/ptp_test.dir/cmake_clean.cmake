@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptp_test.dir/ptp_test.cc.o"
+  "CMakeFiles/ptp_test.dir/ptp_test.cc.o.d"
+  "ptp_test"
+  "ptp_test.pdb"
+  "ptp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
