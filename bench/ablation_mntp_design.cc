@@ -226,11 +226,13 @@ int ablation_vote_vs_marzullo() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("ablation_mntp_design", argc, argv);
   int failures = 0;
   failures += ablation_gate_vs_filter();
   failures += ablation_drift_reestimation();
   failures += ablation_multisource();
   failures += ablation_vote_vs_marzullo();
+  if (!telemetry.finalize(core::TimePoint::epoch())) ++failures;
   return failures;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 namespace mntp::bench {
 
@@ -142,6 +144,47 @@ void Checks::expect_near(double value, double target, double tolerance,
   std::snprintf(buf, sizeof buf, "%s (measured %.2f, paper ~%.2f, tol %.2f)",
                 description.c_str(), value, target, tolerance);
   entries_.push_back({std::fabs(value - target) <= tolerance, buf});
+}
+
+namespace {
+
+std::string parse_telemetry_out(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--telemetry-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    constexpr const char kPrefix[] = "--telemetry-out=";
+    if (std::strncmp(arg, kPrefix, sizeof kPrefix - 1) == 0) {
+      return arg + (sizeof kPrefix - 1);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+BenchTelemetry::BenchTelemetry(std::string run_name, int argc, char** argv)
+    : run_name_(std::move(run_name)),
+      out_path_(parse_telemetry_out(argc, argv)),
+      scope_(telemetry_) {
+  if (enabled()) telemetry_.add_sink(&trace_);
+}
+
+bool BenchTelemetry::finalize(core::TimePoint sim_end) {
+  if (!enabled()) return true;
+  const core::Status status = obs::write_run_report_file(
+      out_path_, telemetry_, &trace_,
+      obs::ReportOptions{.run_name = run_name_, .sim_end = sim_end});
+  if (!status.ok()) {
+    std::fprintf(stderr, "telemetry report failed: %s\n",
+                 status.error().message.c_str());
+    return false;
+  }
+  std::printf("\ntelemetry report: %s (%zu metrics, %zu events)\n",
+              out_path_.c_str(), telemetry_.metrics().snapshot().size(),
+              trace_.events().size());
+  return true;
 }
 
 int Checks::finish(const std::string& experiment_name) const {

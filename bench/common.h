@@ -20,6 +20,9 @@
 #include "mntp/params.h"
 #include "ntp/sntp_client.h"
 #include "ntp/testbed.h"
+#include "obs/report.h"
+#include "obs/telemetry.h"
+#include "obs/trace_event.h"
 
 namespace mntp::bench {
 
@@ -105,5 +108,35 @@ class Checks {
 /// Convert an engine record list into bench series (minutes, ms).
 void split_engine_records(const protocol::MntpEngine& engine, Series* accepted,
                           Series* rejected, Series* corrected);
+
+/// Per-run telemetry harness for bench binaries.
+///
+/// Construct FIRST in main() — before any Testbed or client — so every
+/// instrumented component binds its metric handles to this run's isolated
+/// context. Parses `--telemetry-out <path>` (or `--telemetry-out=<path>`)
+/// from argv; when present, a ring-buffer trace sink is attached and
+/// `finalize(sim_end)` writes the JSONL run report (schema in
+/// src/obs/report.h) to that path. Without the flag the run pays only
+/// counter increments and finalize() is a no-op.
+class BenchTelemetry {
+ public:
+  BenchTelemetry(std::string run_name, int argc, char** argv);
+
+  /// True when --telemetry-out was passed.
+  [[nodiscard]] bool enabled() const { return !out_path_.empty(); }
+  [[nodiscard]] const std::string& out_path() const { return out_path_; }
+  [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
+
+  /// Write the report (no-op without --telemetry-out). Returns false and
+  /// prints to stderr on I/O failure.
+  bool finalize(core::TimePoint sim_end);
+
+ private:
+  std::string run_name_;
+  std::string out_path_;
+  obs::Telemetry telemetry_;
+  obs::RingBufferSink trace_;
+  obs::ScopedTelemetry scope_;
+};
 
 }  // namespace mntp::bench

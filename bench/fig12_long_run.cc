@@ -12,7 +12,8 @@
 
 using namespace mntp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("fig12_long_run", argc, argv);
   std::printf("== Figure 12: 4-hour run, free-running clock ==\n");
   ntp::TestbedConfig config;
   config.seed = 12;
@@ -61,5 +62,7 @@ int main() {
     checks.expect_near(r.mntp.drift_ppm, -config.client_clock.constant_skew_ppm,
                        3.0, "drift estimate matches the oscillator skew");
   }
-  return checks.finish("Figure 12");
+  int failures = checks.finish("Figure 12");
+  if (!telemetry.finalize(core::TimePoint::epoch() + core::Duration::hours(4))) ++failures;
+  return failures;
 }

@@ -30,7 +30,8 @@ ntp::TestbedConfig scenario(bool wireless, bool corrected, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("fig4_wired_vs_wireless", argc, argv);
   std::printf("== Figure 4: SNTP offsets, wired vs wireless, +/- NTP correction ==\n");
   const core::Duration span = core::Duration::hours(1);
   bench::Checks checks;
@@ -81,5 +82,7 @@ int main() {
                 "wired free-run is a steady drift, not spiky");
   checks.expect(wless_corr.failures > wired_corr.failures,
                 "wireless hop loses requests; wired barely does");
-  return checks.finish("Figure 4");
+  int failures = checks.finish("Figure 4");
+  if (!telemetry.finalize(core::TimePoint::epoch() + span)) ++failures;
+  return failures;
 }

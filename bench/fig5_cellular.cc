@@ -10,7 +10,8 @@
 
 using namespace mntp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("fig5_cellular", argc, argv);
   std::printf("== Figure 5: SNTP offsets on a 4G network (3 h) ==\n");
   core::Rng rng(5);
   sim::Simulation sim;
@@ -48,5 +49,7 @@ int main() {
                 "maximum offset in the high hundreds of ms (paper: ~840)");
   checks.expect(s.min > 0.0,
                 "4G offsets systematically positive (uplink-dominated asymmetry)");
-  return checks.finish("Figure 5");
+  int failures = checks.finish("Figure 5");
+  if (!telemetry.finalize(sim.now())) ++failures;
+  return failures;
 }

@@ -11,15 +11,17 @@
 
 using namespace mntp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("fig6_mntp_vs_sntp_corrected", argc, argv);
   std::printf("== Figure 6: SNTP vs MNTP on wireless, NTP-corrected clock ==\n");
   ntp::TestbedConfig config;
   config.seed = 6;
   config.wireless = true;
   config.ntp_correction = true;
 
-  const bench::HeadToHead r = bench::run_head_to_head(
-      config, protocol::head_to_head_params(), core::Duration::hours(1));
+  const core::Duration span = core::Duration::hours(1);
+  const bench::HeadToHead r =
+      bench::run_head_to_head(config, protocol::head_to_head_params(), span);
 
   bench::print_offset_summary("SNTP reported offsets", r.sntp.offsets_ms);
   bench::print_offset_summary("MNTP reported offsets", r.mntp.accepted_ms);
@@ -59,5 +61,7 @@ int main() {
   }
   std::printf("  measured improvement factor (max|offset|): %.1fx\n",
               improvement);
-  return checks.finish("Figure 6");
+  int failures = checks.finish("Figure 6");
+  if (!telemetry.finalize(core::TimePoint::epoch() + span)) ++failures;
+  return failures;
 }

@@ -12,7 +12,8 @@
 
 using namespace mntp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("fig7_signals_selection", argc, argv);
   std::printf("== Figure 7: wireless hints and MNTP selection ==\n");
   ntp::TestbedConfig config;
   config.seed = 6;  // same run as Figure 6
@@ -69,5 +70,7 @@ int main() {
                          ? 1e9
                          : core::max_abs(run.rejected_ms)),
                 "rejected offsets are the large ones");
-  return checks.finish("Figure 7");
+  int failures = checks.finish("Figure 7");
+  if (!telemetry.finalize(core::TimePoint::epoch() + core::Duration::hours(1))) ++failures;
+  return failures;
 }

@@ -10,7 +10,8 @@
 
 using namespace mntp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("fig8_mntp_vs_sntp_freerun", argc, argv);
   std::printf("== Figure 8: SNTP vs MNTP on wireless, free-running clock ==\n");
   ntp::TestbedConfig config;
   config.seed = 8;
@@ -62,5 +63,7 @@ int main() {
     checks.expect_near(r.mntp.drift_ppm, -config.client_clock.constant_skew_ppm,
                        3.0, "drift estimate recovers the oscillator skew");
   }
-  return checks.finish("Figure 8");
+  int failures = checks.finish("Figure 8");
+  if (!telemetry.finalize(core::TimePoint::epoch() + core::Duration::hours(1))) ++failures;
+  return failures;
 }

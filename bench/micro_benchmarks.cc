@@ -14,6 +14,8 @@
 #include "ntp/packet.h"
 #include "ntp/selection.h"
 #include "ntp/testbed.h"
+#include "obs/telemetry.h"
+#include "obs/trace_event.h"
 
 using namespace mntp;
 
@@ -128,6 +130,89 @@ void BM_EngineRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineRound);
+
+// Telemetry overhead on the engine hot path, for the <5% budget in
+// DESIGN.md §Observability: counters-only (the default above) vs the
+// fully disabled registry vs event emission into null/ring sinks.
+void BM_EngineRoundTelemetryDisabled(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  telemetry.set_enabled(false);
+  obs::ScopedTelemetry scope(telemetry);
+  protocol::MntpEngine engine(protocol::head_to_head_params(),
+                              core::TimePoint::epoch());
+  core::Rng rng(6);
+  std::int64_t t = 0;
+  std::vector<double> offsets(1);
+  for (auto _ : state) {
+    t += 5'000'000'000;
+    offsets[0] = rng.normal(0, 0.003);
+    auto r = engine.on_round(core::TimePoint::from_ns(t), offsets);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineRoundTelemetryDisabled);
+
+void BM_EngineRoundTracedNullSink(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  obs::NullSink sink;
+  telemetry.add_sink(&sink);
+  obs::ScopedTelemetry scope(telemetry);
+  protocol::MntpEngine engine(protocol::head_to_head_params(),
+                              core::TimePoint::epoch());
+  core::Rng rng(6);
+  std::int64_t t = 0;
+  std::vector<double> offsets(1);
+  for (auto _ : state) {
+    t += 5'000'000'000;
+    offsets[0] = rng.normal(0, 0.003);
+    auto r = engine.on_round(core::TimePoint::from_ns(t), offsets);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineRoundTracedNullSink);
+
+void BM_EngineRoundTracedRingSink(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  obs::RingBufferSink sink(1 << 12);
+  telemetry.add_sink(&sink);
+  obs::ScopedTelemetry scope(telemetry);
+  protocol::MntpEngine engine(protocol::head_to_head_params(),
+                              core::TimePoint::epoch());
+  core::Rng rng(6);
+  std::int64_t t = 0;
+  std::vector<double> offsets(1);
+  for (auto _ : state) {
+    t += 5'000'000'000;
+    offsets[0] = rng.normal(0, 0.003);
+    auto r = engine.on_round(core::TimePoint::from_ns(t), offsets);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineRoundTracedRingSink);
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  obs::ScopedTelemetry scope(telemetry);
+  obs::Counter* c = telemetry.metrics().counter("bench.counter");
+  for (auto _ : state) {
+    c->inc();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  obs::ScopedTelemetry scope(telemetry);
+  obs::Histogram* h = telemetry.metrics().histogram(
+      "bench.histogram", obs::HistogramOptions::latency_ms());
+  core::Rng rng(11);
+  for (auto _ : state) {
+    h->record(rng.uniform(0.1, 500.0));
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 void BM_TraceCsvRoundTrip(benchmark::State& state) {
   // The tuner's interchange path: serialize + reparse a 1-hour trace.

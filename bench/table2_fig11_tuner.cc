@@ -32,7 +32,8 @@ protocol::MntpParams paper_config(double warmup_min, double wwait_min,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchTelemetry telemetry("table2_fig11_tuner", argc, argv);
   std::printf("== Table 2 / Figure 11: MNTP tuner ==\n");
 
   // 1. Capture the trace (logger component).
@@ -142,5 +143,7 @@ int main() {
   checks.expect(worst_rmse / std::max(best_rmse, 1e-9) < 3.0,
                 "config spread small (paper: 1.5x between best and worst)");
   checks.expect(entries.size() == 18, "searcher enumerated the full grid");
-  return checks.finish("Table 2 / Figure 11");
+  int failures = checks.finish("Table 2 / Figure 11");
+  if (!telemetry.finalize(core::TimePoint::epoch() + core::Duration::hours(4))) ++failures;
+  return failures;
 }

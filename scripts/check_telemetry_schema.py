@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate a telemetry run report (JSONL, schema v1).
+
+The schema is defined in src/obs/report.h and DESIGN.md "Observability".
+This checker enforces, line by line:
+
+  * line 1 is a `meta` object with schema_version 1 and run/sim_end_ns/
+    metric_count/event_count;
+  * every following line is a `metric` or an `event` object with the
+    fields its kind requires;
+  * metric lines precede event lines, metric names are sorted, and the
+    meta counts match the actual body;
+  * histogram buckets have ascending finite bounds with a final "inf"
+    bucket whose counts sum to the histogram count, and p50<=p90<=p99;
+  * event t_ns values are non-decreasing (sim-time order).
+
+Usage:
+  check_telemetry_schema.py report.jsonl [--require-prefixes a.,b.]
+  check_telemetry_schema.py --generate BENCH_BINARY --out report.jsonl \
+      [--require-prefixes a.,b.]
+
+With --generate the script runs `BENCH_BINARY --telemetry-out OUT` first
+(the binary's own exit code is ignored: shape checks may evolve
+independently of the telemetry schema) and then validates OUT.
+--require-prefixes additionally demands at least one metric per listed
+name prefix, which is how the CTest wiring asserts that every layer of
+the stack (sim., net., ntp., mntp.) actually reported.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def fail(lineno, msg):
+    raise SystemExit(f"SCHEMA ERROR line {lineno}: {msg}")
+
+
+def check_meta(obj, lineno):
+    for key in ("schema_version", "run", "sim_end_ns", "metric_count",
+                "event_count"):
+        if key not in obj:
+            fail(lineno, f"meta missing '{key}'")
+    if obj["schema_version"] != 1:
+        fail(lineno, f"unsupported schema_version {obj['schema_version']}")
+    if not isinstance(obj["run"], str) or not obj["run"]:
+        fail(lineno, "meta 'run' must be a non-empty string")
+    for key in ("sim_end_ns", "metric_count", "event_count"):
+        if not isinstance(obj[key], int) or obj[key] < 0:
+            fail(lineno, f"meta '{key}' must be a non-negative integer")
+
+
+def check_histogram(obj, lineno):
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99", "buckets"):
+        if key not in obj:
+            fail(lineno, f"histogram missing '{key}'")
+    if not isinstance(obj["count"], int) or obj["count"] < 0:
+        fail(lineno, "histogram 'count' must be a non-negative integer")
+    buckets = obj["buckets"]
+    if not isinstance(buckets, list) or not buckets:
+        fail(lineno, "histogram 'buckets' must be a non-empty array")
+    prev_le = None
+    total = 0
+    for i, b in enumerate(buckets):
+        if set(b) != {"le", "count"}:
+            fail(lineno, f"bucket {i} must have exactly 'le' and 'count'")
+        le, n = b["le"], b["count"]
+        if not isinstance(n, int) or n < 0:
+            fail(lineno, f"bucket {i} count must be a non-negative integer")
+        total += n
+        if i == len(buckets) - 1:
+            if le != "inf":
+                fail(lineno, "final bucket 'le' must be \"inf\"")
+        else:
+            if not isinstance(le, (int, float)) or isinstance(le, bool):
+                fail(lineno, f"bucket {i} 'le' must be a number")
+            if prev_le is not None and le <= prev_le:
+                fail(lineno, f"bucket bounds must ascend ({le} after {prev_le})")
+            prev_le = le
+    if total != obj["count"]:
+        fail(lineno, f"bucket counts sum to {total}, histogram count is "
+                     f"{obj['count']}")
+    if obj["count"] > 0:
+        if obj["min"] > obj["max"]:
+            fail(lineno, "histogram min > max")
+        if not obj["p50"] <= obj["p90"] <= obj["p99"]:
+            fail(lineno, "histogram quantiles must satisfy p50<=p90<=p99")
+
+
+def check_metric(obj, lineno):
+    for key in ("kind", "name", "labels"):
+        if key not in obj:
+            fail(lineno, f"metric missing '{key}'")
+    if obj["kind"] not in ("counter", "gauge", "histogram"):
+        fail(lineno, f"unknown metric kind '{obj['kind']}'")
+    if not isinstance(obj["name"], str) or not obj["name"]:
+        fail(lineno, "metric 'name' must be a non-empty string")
+    labels = obj["labels"]
+    if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in labels.items()):
+        fail(lineno, "metric 'labels' must be a string-to-string object")
+    if obj["kind"] == "histogram":
+        check_histogram(obj, lineno)
+    else:
+        if "value" not in obj or isinstance(obj["value"], bool) or \
+                not isinstance(obj["value"], (int, float)):
+            fail(lineno, f"{obj['kind']} needs a numeric 'value'")
+        if obj["kind"] == "counter" and obj["value"] < 0:
+            fail(lineno, "counter value must be non-negative")
+
+
+def check_event(obj, lineno):
+    for key in ("t_ns", "category", "name", "fields"):
+        if key not in obj:
+            fail(lineno, f"event missing '{key}'")
+    if not isinstance(obj["t_ns"], int):
+        fail(lineno, "event 't_ns' must be an integer")
+    for key in ("category", "name"):
+        if not isinstance(obj[key], str) or not obj[key]:
+            fail(lineno, f"event '{key}' must be a non-empty string")
+    if not isinstance(obj["fields"], dict):
+        fail(lineno, "event 'fields' must be an object")
+
+
+def validate(path, require_prefixes):
+    metric_names = []
+    events_seen = 0
+    last_t_ns = None
+    meta = None
+    in_events = False
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                fail(lineno, "blank line")
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"invalid JSON: {e}")
+            kind = obj.get("type")
+            if lineno == 1:
+                if kind != "meta":
+                    fail(lineno, "first line must be the meta object")
+                check_meta(obj, lineno)
+                meta = obj
+                continue
+            if kind == "metric":
+                if in_events:
+                    fail(lineno, "metric line after the first event line")
+                check_metric(obj, lineno)
+                metric_names.append(obj["name"])
+            elif kind == "event":
+                in_events = True
+                check_event(obj, lineno)
+                if last_t_ns is not None and obj["t_ns"] < last_t_ns:
+                    fail(lineno, f"event t_ns {obj['t_ns']} out of order "
+                                 f"(previous {last_t_ns})")
+                last_t_ns = obj["t_ns"]
+                events_seen += 1
+            elif kind == "meta":
+                fail(lineno, "duplicate meta line")
+            else:
+                fail(lineno, f"unknown line type '{kind}'")
+
+    if meta is None:
+        raise SystemExit("SCHEMA ERROR: empty report")
+    if meta["metric_count"] != len(metric_names):
+        raise SystemExit(
+            f"SCHEMA ERROR: meta metric_count {meta['metric_count']} != "
+            f"{len(metric_names)} metric lines")
+    if meta["event_count"] != events_seen:
+        raise SystemExit(
+            f"SCHEMA ERROR: meta event_count {meta['event_count']} != "
+            f"{events_seen} event lines")
+    if metric_names != sorted(metric_names):
+        raise SystemExit("SCHEMA ERROR: metric lines not sorted by name")
+
+    for prefix in require_prefixes:
+        if not any(n.startswith(prefix) for n in metric_names):
+            raise SystemExit(
+                f"SCHEMA ERROR: no metric with required prefix '{prefix}' "
+                f"(got {sorted(set(metric_names))})")
+
+    print(f"OK: {path} — {len(metric_names)} metrics, {events_seen} events, "
+          f"run '{meta['run']}'")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", help="JSONL report to validate")
+    parser.add_argument("--generate", metavar="BINARY",
+                        help="bench binary to run with --telemetry-out first")
+    parser.add_argument("--out", help="report path for --generate")
+    parser.add_argument("--require-prefixes", default="",
+                        help="comma-separated metric-name prefixes that must "
+                             "each match at least one metric")
+    args = parser.parse_args()
+
+    if args.generate:
+        if not args.out:
+            parser.error("--generate requires --out")
+        path = args.out
+        # The bench's own PASS/FAIL shape checks are not under test here;
+        # only the telemetry output is.
+        subprocess.run([args.generate, "--telemetry-out", path],
+                       stdout=subprocess.DEVNULL, check=False)
+    elif args.report:
+        path = args.report
+    else:
+        parser.error("need a report path or --generate")
+
+    prefixes = [p for p in args.require_prefixes.split(",") if p]
+    validate(path, prefixes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+// Shared printf-style string formatting.
+//
+// Library code never prints to stdout/stderr directly: human-readable
+// renderings are built as strings through this one helper (and structured
+// data goes through obs::Telemetry), so output policy stays with the
+// callers — benches print, tests assert, exporters serialize.
+#pragma once
+
+#include <string>
+
+namespace mntp::core {
+
+/// vsnprintf into a std::string. Formats of any length are handled (the
+/// buffer grows to fit); invalid format/argument combinations are
+/// programming errors, as with printf itself.
+[[nodiscard]] std::string strformat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mntp::core

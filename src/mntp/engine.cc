@@ -1,5 +1,8 @@
 #include "mntp/engine.h"
 
+#include <cstdint>
+#include <string>
+
 namespace mntp::protocol {
 
 namespace {
@@ -14,8 +17,35 @@ DriftFilterConfig filter_config(const MntpParams& p) {
 
 }  // namespace
 
+const char* to_string(SampleOutcome outcome) {
+  switch (outcome) {
+    case SampleOutcome::kAcceptedWarmup: return "accepted_warmup";
+    case SampleOutcome::kAcceptedRegular: return "accepted_regular";
+    case SampleOutcome::kRejectedFalseTicker: return "rejected_false_ticker";
+    case SampleOutcome::kRejectedFilter: return "rejected_filter";
+  }
+  return "unknown";
+}
+
+const char* to_string(Phase phase) {
+  return phase == Phase::kWarmup ? "warmup" : "regular";
+}
+
 MntpEngine::MntpEngine(MntpParams params, core::TimePoint start)
-    : params_(params), cycle_start_(start), filter_(filter_config(params)) {
+    : telemetry_(&obs::Telemetry::global()),
+      params_(params),
+      cycle_start_(start),
+      filter_(filter_config(params)) {
+  obs::MetricsRegistry& m = telemetry_->metrics();
+  for (const SampleOutcome outcome :
+       {SampleOutcome::kAcceptedWarmup, SampleOutcome::kAcceptedRegular,
+        SampleOutcome::kRejectedFalseTicker, SampleOutcome::kRejectedFilter}) {
+    outcome_counters_[static_cast<std::size_t>(outcome)] = m.counter(
+        "mntp.sample", obs::Labels{{"outcome", to_string(outcome)}});
+  }
+  rounds_counter_ = m.counter("mntp.rounds");
+  deferrals_counter_ = m.counter("mntp.deferrals");
+  resets_counter_ = m.counter("mntp.resets");
   if (params_.warmup_period == core::Duration::zero()) {
     // Head-to-head mode: no distinct warm-up; the filter still
     // bootstraps its first min_warmup_samples unconditionally.
@@ -23,7 +53,14 @@ MntpEngine::MntpEngine(MntpParams params, core::TimePoint start)
   }
 }
 
-void MntpEngine::note_deferral(core::TimePoint /*t*/) { ++deferrals_; }
+void MntpEngine::note_deferral(core::TimePoint t) {
+  ++deferrals_;
+  deferrals_counter_->inc();
+  if (telemetry_->tracing()) {
+    telemetry_->event(t, "mntp", "deferral",
+                      {{"phase", std::string(to_string(phase_))}});
+  }
+}
 
 std::size_t MntpEngine::sources_to_query() const {
   return phase_ == Phase::kWarmup ? params_.warmup_sources : 1;
@@ -36,6 +73,10 @@ core::Duration MntpEngine::next_wait() const {
 
 void MntpEngine::restart(core::TimePoint t) {
   ++resets_;
+  resets_counter_->inc();
+  if (telemetry_->tracing()) {
+    telemetry_->event(t, "mntp", "reset", {});
+  }
   cycle_start_ = t;
   filter_.reset();
   accepted_in_cycle_ = 0;
@@ -76,6 +117,7 @@ std::optional<double> MntpEngine::predict_offset_s(core::TimePoint t) const {
 MntpEngine::RoundResult MntpEngine::on_round(
     core::TimePoint t, const std::vector<double>& offsets_s) {
   ++rounds_;
+  rounds_counter_->inc();
   RoundResult rr;
 
   // Reset period elapsed: goto Step 1 (Algorithm 1 steps 23-24).
@@ -119,6 +161,15 @@ MntpEngine::RoundResult MntpEngine::on_round(
                                     .outcome = rr.outcome,
                                     .phase = phase_,
                                     .bootstrap = fd.bootstrap});
+    outcome_counters_[static_cast<std::size_t>(rr.outcome)]->inc();
+    if (telemetry_->tracing()) {
+      telemetry_->event(t, "mntp", "round",
+                        {{"outcome", std::string(to_string(rr.outcome))},
+                         {"phase", std::string(to_string(phase_))},
+                         {"offset_ms", measured * 1e3},
+                         {"residual_ms", rr.corrected_s * 1e3},
+                         {"sources", static_cast<std::int64_t>(offsets_s.size())}});
+    }
   }
 
   // Warm-up completion check (Algorithm 1 steps 11-13): period elapsed
@@ -128,6 +179,11 @@ MntpEngine::RoundResult MntpEngine::on_round(
       filter_.accepted_count() >= params_.min_warmup_samples) {
     enter_regular();
     rr.warmup_completed = true;
+    if (telemetry_->tracing()) {
+      telemetry_->event(
+          t, "mntp", "phase_transition",
+          {{"from", std::string("warmup")}, {"to", std::string("regular")}});
+    }
   }
   return rr;
 }

@@ -23,6 +23,7 @@
 #include "mntp/false_ticker.h"
 #include "mntp/params.h"
 #include "net/hints.h"
+#include "obs/telemetry.h"
 
 namespace mntp::protocol {
 
@@ -35,6 +36,9 @@ enum class SampleOutcome {
   kRejectedFalseTicker,  // entire round discarded by the warm-up vote
   kRejectedFilter,       // trend filter rejected the combined offset
 };
+
+[[nodiscard]] const char* to_string(SampleOutcome outcome);
+[[nodiscard]] const char* to_string(Phase phase);
 
 struct OffsetRecord {
   core::TimePoint t;
@@ -135,6 +139,15 @@ class MntpEngine {
  private:
   void restart(core::TimePoint t);
   void enter_regular();
+
+  // Telemetry handles, resolved once at construction from the ambient
+  // obs::Telemetry::global() so the hot path stays a pointer increment.
+  // The engine stays simulation-free: obs depends only on core.
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* outcome_counters_[4] = {};  // indexed by SampleOutcome
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* deferrals_counter_ = nullptr;
+  obs::Counter* resets_counter_ = nullptr;
 
   MntpParams params_;
   Phase phase_ = Phase::kWarmup;

@@ -15,7 +15,12 @@ MntpClient::MntpClient(sim::Simulation& sim, sim::DisciplinedClock& clock,
       params_(params),
       rng_(std::move(rng)),
       query_options_(query_options),
-      query_engine_(sim, clock) {}
+      query_engine_(sim, clock) {
+  obs::MetricsRegistry& m = sim_.telemetry().metrics();
+  requests_counter_ = m.counter("mntp.client.requests");
+  forced_counter_ = m.counter("mntp.client.forced_emissions");
+  clock_steps_counter_ = m.counter("mntp.client.clock_steps");
+}
 
 void MntpClient::start() {
   running_ = true;
@@ -47,7 +52,15 @@ void MntpClient::attempt() {
     pending_ = sim_.after(params.hint_recheck_interval, [this] { attempt(); });
     return;
   }
-  if (forced) ++forced_emissions_;
+  if (forced) {
+    ++forced_emissions_;
+    forced_counter_->inc();
+    if (sim_.telemetry().tracing()) {
+      sim_.telemetry().event(
+          sim_.now(), "mntp", "forced_emission",
+          {{"rssi_dbm", hints.rssi.value()}, {"noise_dbm", hints.noise.value()}});
+    }
+  }
   last_emission_ = sim_.now();
   run_round();
 }
@@ -70,6 +83,7 @@ void MntpClient::run_round() {
   auto outstanding = std::make_shared<std::size_t>(chosen.size());
   for (const std::size_t idx : chosen) {
     ++requests_sent_;
+    requests_counter_->inc();
     const ntp::ServerEndpoint ep =
         pool_.endpoint(idx, &channel_.uplink(), &channel_.downlink());
     query_engine_.query(
@@ -95,6 +109,11 @@ void MntpClient::finish_round(std::vector<double> offsets_s) {
     // correctSystemClock(offset): step by the measured offset.
     clock_.step(core::Duration::from_seconds(rr.offset_s));
     engine_->note_clock_step(rr.offset_s);
+    clock_steps_counter_->inc();
+    if (sim_.telemetry().tracing()) {
+      sim_.telemetry().event(now, "mntp", "clock_step",
+                             {{"step_ms", rr.offset_s * 1e3}});
+    }
   }
   if (rr.warmup_completed && params_.correct_drift &&
       params_.apply_corrections_to_clock) {

@@ -75,6 +75,9 @@ class MntpClient {
   std::size_t query_failures_ = 0;
   std::size_t forced_emissions_ = 0;
   core::TimePoint last_emission_;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* forced_counter_ = nullptr;
+  obs::Counter* clock_steps_counter_ = nullptr;
 };
 
 }  // namespace mntp::protocol

@@ -1,22 +1,19 @@
 #include "mntp/trace.h"
 
 #include <charconv>
-#include <cstdio>
 #include <sstream>
+
+#include "core/format.h"
 
 namespace mntp::protocol {
 
 std::string Trace::to_csv() const {
   std::ostringstream out;
   out << "t_s,rssi_dbm,noise_dbm,offsets_s...\n";
-  char buf[64];
   for (const TraceRecord& r : records) {
-    std::snprintf(buf, sizeof buf, "%.6f,%.2f,%.2f", r.t_s, r.rssi_dbm,
-                  r.noise_dbm);
-    out << buf;
+    out << core::strformat("%.6f,%.2f,%.2f", r.t_s, r.rssi_dbm, r.noise_dbm);
     for (double o : r.offsets_s) {
-      std::snprintf(buf, sizeof buf, ",%.9f", o);
-      out << buf;
+      out << core::strformat(",%.9f", o);
     }
     out << '\n';
   }

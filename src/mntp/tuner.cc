@@ -1,10 +1,12 @@
 #include "mntp/tuner.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <cstdint>
 #include <memory>
 
+#include "core/format.h"
 #include "core/stats.h"
+#include "obs/telemetry.h"
 
 namespace mntp::protocol::tuner {
 
@@ -118,18 +120,18 @@ EmulationResult emulate(const Trace& trace, const MntpParams& params) {
 }
 
 std::string SearchEntry::to_string() const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "warmup=%.1fmin wwait=%.3fmin rwait=%.1fmin reset=%.0fmin "
-                "rmse=%.2fms requests=%zu",
-                params.warmup_period.to_seconds() / 60.0,
-                params.warmup_wait_time.to_seconds() / 60.0,
-                params.regular_wait_time.to_seconds() / 60.0,
-                params.reset_period.to_seconds() / 60.0, rmse_ms, requests);
-  return buf;
+  return core::strformat(
+      "warmup=%.1fmin wwait=%.3fmin rwait=%.1fmin reset=%.0fmin "
+      "rmse=%.2fms requests=%zu",
+      params.warmup_period.to_seconds() / 60.0,
+      params.warmup_wait_time.to_seconds() / 60.0,
+      params.regular_wait_time.to_seconds() / 60.0,
+      params.reset_period.to_seconds() / 60.0, rmse_ms, requests);
 }
 
 std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space) {
+  obs::Telemetry& telemetry = obs::Telemetry::global();
+  obs::Counter* scored = telemetry.metrics().counter("tuner.configs_scored");
   std::vector<SearchEntry> out;
   for (const core::Duration wp : space.warmup_periods) {
     for (const core::Duration wwt : space.warmup_wait_times) {
@@ -144,6 +146,20 @@ std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space) {
           const EmulationResult r = emulate(trace, entry.params);
           entry.rmse_ms = r.rmse_ms;
           entry.requests = r.requests;
+          scored->inc();
+          if (telemetry.tracing()) {
+            // Grid search is trace-driven and has no simulated clock of
+            // its own; stamp with the trace's end time.
+            const core::TimePoint t =
+                core::TimePoint::epoch() +
+                core::Duration::from_seconds(
+                    trace.empty() ? 0.0 : trace.records.back().t_s);
+            telemetry.event(t, "tuner", "config_scored",
+                            {{"config", entry.to_string()},
+                             {"rmse_ms", entry.rmse_ms},
+                             {"requests",
+                              static_cast<std::int64_t>(entry.requests)}});
+          }
           out.push_back(std::move(entry));
         }
       }

@@ -3,21 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.h"
+
 namespace mntp::net {
 
 class CellularNetwork::DirectionalLink final : public Link {
  public:
   DirectionalLink(CellularNetwork& net, bool is_uplink, core::Rng rng)
-      : net_(net), is_uplink_(is_uplink), rng_(std::move(rng)) {}
+      : net_(net), is_uplink_(is_uplink), rng_(std::move(rng)) {
+    obs::MetricsRegistry& m = obs::Telemetry::global().metrics();
+    const obs::Labels dir{{"dir", is_uplink ? "up" : "down"}};
+    tx_counter_ = m.counter("net.cell.tx", dir);
+    drop_counter_ = m.counter("net.cell.drop", dir);
+    delay_ms_ =
+        m.histogram("net.cell.delay_ms", obs::HistogramOptions::latency_ms(), dir);
+  }
 
   TransmitResult transmit(core::TimePoint now, std::size_t /*bytes*/) override {
     net_.advance_to(now);
     const CellularParams& p = net_.params_;
     const bool congested = net_.congested_;
 
+    tx_counter_->inc();
     const double p_loss =
         congested ? p.congested_loss_probability : p.loss_probability;
     if (rng_.bernoulli(p_loss)) {
+      drop_counter_->inc();
       return {.delivered = false, .delay = core::Duration::zero()};
     }
 
@@ -42,17 +53,24 @@ class CellularNetwork::DirectionalLink final : public Link {
         delay += core::Duration::from_seconds(extra_s);
       }
     }
-    return {.delivered = true, .delay = std::min(delay, p.max_one_way)};
+    delay = std::min(delay, p.max_one_way);
+    delay_ms_->record(delay.to_millis());
+    return {.delivered = true, .delay = delay};
   }
 
  private:
   CellularNetwork& net_;
   bool is_uplink_;
   core::Rng rng_;
+  obs::Counter* tx_counter_;
+  obs::Counter* drop_counter_;
+  obs::Histogram* delay_ms_;
 };
 
 CellularNetwork::CellularNetwork(CellularParams params, core::Rng rng)
     : params_(params), rng_(std::move(rng)) {
+  congestion_episodes_ =
+      obs::Telemetry::global().metrics().counter("net.cell.congestion_episodes");
   next_transition_ =
       core::TimePoint::epoch() +
       core::Duration::from_seconds(
@@ -69,6 +87,7 @@ Link& CellularNetwork::downlink() { return *downlink_; }
 void CellularNetwork::advance_to(core::TimePoint t) {
   while (next_transition_ <= t) {
     congested_ = !congested_;
+    if (congested_) congestion_episodes_->inc();
     const double mean_s = (congested_ ? params_.mean_congested_duration
                                       : params_.mean_clear_duration)
                               .to_seconds();

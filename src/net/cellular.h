@@ -20,6 +20,7 @@
 #include "core/rng.h"
 #include "core/time.h"
 #include "net/link.h"
+#include "obs/telemetry.h"
 
 namespace mntp::net {
 
@@ -77,6 +78,7 @@ class CellularNetwork {
   core::Rng rng_;
   bool congested_ = false;
   core::TimePoint next_transition_;
+  obs::Counter* congestion_episodes_ = nullptr;
   std::unique_ptr<DirectionalLink> uplink_;
   std::unique_ptr<DirectionalLink> downlink_;
 };

@@ -9,7 +9,11 @@ CrossTrafficGenerator::CrossTrafficGenerator(sim::Simulation& sim,
                                              WirelessChannel& channel,
                                              CrossTrafficParams params,
                                              core::Rng rng)
-    : sim_(sim), channel_(channel), params_(params), rng_(std::move(rng)) {}
+    : sim_(sim), channel_(channel), params_(params), rng_(std::move(rng)) {
+  obs::MetricsRegistry& m = sim_.telemetry().metrics();
+  downloads_counter_ = m.counter("net.xtraffic.downloads");
+  utilization_gauge_ = m.gauge("net.xtraffic.utilization");
+}
 
 void CrossTrafficGenerator::start() {
   if (running_) return;
@@ -41,12 +45,20 @@ void CrossTrafficGenerator::begin_idle() {
 
 void CrossTrafficGenerator::begin_download() {
   downloading_ = true;
-  channel_.set_utilization(
-      rng_.uniform(params_.min_utilization, params_.max_utilization));
+  const double utilization =
+      rng_.uniform(params_.min_utilization, params_.max_utilization);
+  channel_.set_utilization(utilization);
+  utilization_gauge_->set(utilization);
   const double dur_s = rng_.lognormal(
       std::log(params_.median_download.to_seconds()), params_.download_sigma);
+  if (sim_.telemetry().tracing()) {
+    sim_.telemetry().event(sim_.now(), "net", "xtraffic_download",
+                           {{"utilization", utilization},
+                            {"duration_s", dur_s}});
+  }
   pending_ = sim_.after(core::Duration::from_seconds(dur_s), [this] {
     ++completed_;
+    downloads_counter_->inc();
     if (running_) begin_idle();
   });
 }

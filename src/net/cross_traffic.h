@@ -66,6 +66,8 @@ class CrossTrafficGenerator {
   bool running_ = false;
   bool downloading_ = false;
   std::size_t completed_ = 0;
+  obs::Counter* downloads_counter_ = nullptr;
+  obs::Gauge* utilization_gauge_ = nullptr;
 };
 
 }  // namespace mntp::net

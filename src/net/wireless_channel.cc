@@ -7,13 +7,25 @@
 namespace mntp::net {
 
 WirelessChannel::WirelessChannel(WirelessChannelParams params, core::Rng rng)
-    : params_(params), rng_(std::move(rng)), tx_power_(params.default_tx_power) {
+    : params_(params),
+      rng_(std::move(rng)),
+      tx_power_(params.default_tx_power),
+      telemetry_(&obs::Telemetry::global()) {
   if (params_.tick <= core::Duration::zero()) {
     throw std::invalid_argument("WirelessChannel: tick must be > 0");
   }
   if (params_.max_retries < 0) {
     throw std::invalid_argument("WirelessChannel: max_retries must be >= 0");
   }
+  obs::MetricsRegistry& m = telemetry_->metrics();
+  for (int d = 0; d < 2; ++d) {
+    const obs::Labels dir{{"dir", d == 0 ? "up" : "down"}};
+    tx_counter_[d] = m.counter("net.wifi.tx", dir);
+    drop_counter_[d] = m.counter("net.wifi.drop", dir);
+    delay_ms_[d] =
+        m.histogram("net.wifi.delay_ms", obs::HistogramOptions::latency_ms(), dir);
+  }
+  bad_transitions_ = m.counter("net.wifi.bad_state_transitions");
   // First good->bad transition.
   next_transition_ = core::TimePoint::epoch() +
       core::Duration::from_seconds(
@@ -31,6 +43,7 @@ void WirelessChannel::advance_to(core::TimePoint t) {
   // Gilbert–Elliott transitions: exponential sojourn times.
   while (next_transition_ <= t) {
     bad_ = !bad_;
+    if (bad_) bad_transitions_->inc();
     const double mean_s = (bad_ ? params_.mean_bad_duration
                                 : params_.mean_good_duration)
                               .to_seconds();
@@ -94,6 +107,8 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
                                              std::size_t bytes,
                                              bool is_uplink) {
   advance_to(now);
+  const std::size_t dir = is_uplink ? 0 : 1;
+  tx_counter_[dir]->inc();
   const double queue_factor = is_uplink ? 1.0 : params_.downlink_queue_factor;
   const double spike_factor = is_uplink ? 1.0 : params_.downlink_spike_factor;
   const core::Decibels snr = true_rssi(now) - true_noise(now);
@@ -115,6 +130,7 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
         static_cast<double>(attempt + 1));
   }
   if (!delivered) {
+    drop_counter_[dir]->inc();
     return {.delivered = false, .delay = core::Duration::zero()};
   }
 
@@ -147,8 +163,17 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
         params_.bytes_per_second);
   }
 
-  return {.delivered = true,
-          .delay = params_.base_delay + backoff + queueing + spike + serialization};
+  const core::Duration delay =
+      params_.base_delay + backoff + queueing + spike + serialization;
+  delay_ms_[dir]->record(delay.to_millis());
+  if (telemetry_->tracing() && spike > core::Duration::zero()) {
+    // Heavy-tail stalls are the events MNTP exists to dodge; trace them.
+    telemetry_->event(now, "net", "wifi_spike",
+                      {{"dir", std::string(is_uplink ? "up" : "down")},
+                       {"delay_ms", delay.to_millis()},
+                       {"spike_ms", spike.to_millis()}});
+  }
+  return {.delivered = true, .delay = delay};
 }
 
 }  // namespace mntp::net

@@ -26,6 +26,7 @@
 #include "core/units.h"
 #include "net/hints.h"
 #include "net/link.h"
+#include "obs/telemetry.h"
 
 namespace mntp::net {
 
@@ -157,6 +158,14 @@ class WirelessChannel {
   core::TimePoint next_transition_;
   double shadow_db_ = 0.0;
   double noise_wander_db_ = 0.0;
+
+  // Telemetry handles (per direction: [0]=up, [1]=down), bound at
+  // construction to the then-current global obs context.
+  obs::Telemetry* telemetry_;
+  obs::Counter* tx_counter_[2];
+  obs::Counter* drop_counter_[2];
+  obs::Histogram* delay_ms_[2];
+  obs::Counter* bad_transitions_;
 };
 
 }  // namespace mntp::net

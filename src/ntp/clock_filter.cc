@@ -11,6 +11,9 @@ ClockFilter::ClockFilter(ClockFilterParams params)
   if (params.stages == 0) {
     throw std::invalid_argument("ClockFilter: stages must be > 0");
   }
+  obs::MetricsRegistry& m = obs::Telemetry::global().metrics();
+  samples_counter_ = m.counter("ntp.filter.samples");
+  suppressed_counter_ = m.counter("ntp.filter.suppressed");
 }
 
 void ClockFilter::reset() {
@@ -25,6 +28,7 @@ std::optional<PeerEstimate> ClockFilter::update(core::Duration offset,
                                                 core::Duration delay,
                                                 core::TimePoint now) {
   ++seen_;
+  samples_counter_->inc();
 
   // Popcorn spike suppressor: a lone sample far from the current estimate
   // is dropped (but jitter state below still reflects the shift if the
@@ -35,6 +39,7 @@ std::optional<PeerEstimate> ClockFilter::update(core::Duration offset,
     const double dev_s = (offset - current_->offset).abs().to_seconds();
     if (dev_s > params_.popcorn_gate * jitter) {
       ++suppressed_;
+      suppressed_counter_->inc();
       return std::nullopt;
     }
   }

@@ -18,6 +18,7 @@
 
 #include "core/ring_buffer.h"
 #include "core/time.h"
+#include "obs/telemetry.h"
 
 namespace mntp::ntp {
 
@@ -86,6 +87,8 @@ class ClockFilter {
   std::optional<PeerEstimate> current_;
   std::size_t seen_ = 0;
   std::size_t suppressed_ = 0;
+  obs::Counter* samples_counter_ = nullptr;
+  obs::Counter* suppressed_counter_ = nullptr;
 };
 
 }  // namespace mntp::ntp

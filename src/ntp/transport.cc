@@ -23,7 +23,15 @@ struct Exchange {
 }  // namespace
 
 QueryEngine::QueryEngine(sim::Simulation& sim, sim::DisciplinedClock& clock)
-    : sim_(sim), clock_(clock) {}
+    : sim_(sim), clock_(clock) {
+  obs::MetricsRegistry& m = sim_.telemetry().metrics();
+  sent_counter_ = m.counter("ntp.query.sent");
+  ok_counter_ = m.counter("ntp.query.ok");
+  timeout_counter_ = m.counter("ntp.query.timeout");
+  error_counter_ = m.counter("ntp.query.error");
+  rtt_ms_ =
+      m.histogram("ntp.query.rtt_ms", obs::HistogramOptions::latency_ms());
+}
 
 void QueryEngine::query(const ServerEndpoint& endpoint,
                         const QueryOptions& options, Callback callback) {
@@ -41,8 +49,13 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
                                         core::NtpTimestamp::unset());
   const auto request_bytes = request.to_bytes();
 
+  sent_counter_->inc();
   ex->timeout_event = sim_.after(options.timeout, [this, ex] {
     ++timeouts_;
+    timeout_counter_->inc();
+    if (sim_.telemetry().tracing()) {
+      sim_.telemetry().event(sim_.now(), "ntp", "query_timeout", {});
+    }
     ex->settle(core::Error::timeout("no NTP reply within timeout"));
   });
 
@@ -58,6 +71,7 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
        wire_bytes](core::TimePoint arrival) {
         auto reply = server->handle(request_bytes, arrival);
         if (!reply.ok()) {
+          error_counter_->inc();
           ex->settle(reply.error());
           return;
         }
@@ -71,20 +85,24 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
               [this, ex, reply_bytes, t1](core::TimePoint t4_true) {
                 auto parsed = NtpPacket::parse(reply_bytes);
                 if (!parsed.ok()) {
+                  error_counter_->inc();
                   ex->settle(parsed.error());
                   return;
                 }
                 const NtpPacket& p = parsed.value();
                 if (const core::Status s = validate_sntp_response(p, t1);
                     !s.ok()) {
+                  error_counter_->inc();
                   ex->settle(s.error());
                   return;
                 }
                 ++received_;
+                ok_counter_->inc();
                 const core::NtpTimestamp t4 = core::NtpTimestamp::from_time_point(
                     clock_.local_time(t4_true));
                 const SntpExchange xchg{
                     .t1 = t1, .t2 = p.receive_ts, .t3 = p.transmit_ts, .t4 = t4};
+                rtt_ms_->record(xchg.delay().to_millis());
                 ex->settle(SntpSample{
                     .offset = xchg.offset(),
                     .delay = xchg.delay(),

@@ -65,6 +65,11 @@ class QueryEngine {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t timeouts_ = 0;
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* ok_counter_ = nullptr;
+  obs::Counter* timeout_counter_ = nullptr;
+  obs::Counter* error_counter_ = nullptr;
+  obs::Histogram* rtt_ms_ = nullptr;
 };
 
 }  // namespace mntp::ntp

@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mntp::obs {
+
+// --- P2Quantile -----------------------------------------------------------
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (q <= 0.0 || q >= 1.0) {
+    throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  }
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  incr_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    height_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(height_.begin(), height_.end());
+      for (std::size_t i = 0; i < 5; ++i) pos_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+
+  // Locate the cell containing x; stretch the extreme markers if needed.
+  std::size_t k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = std::max(height_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += incr_[i];
+  ++n_;
+
+  // Adjust interior markers toward their desired positions using the
+  // piecewise-parabolic (P²) height update, falling back to linear when
+  // the parabolic step would cross a neighbour.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    const bool right = d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0;
+    const bool left = d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0;
+    if (!right && !left) continue;
+    const double s = right ? 1.0 : -1.0;
+
+    const double qip = height_[i + 1];
+    const double qi = height_[i];
+    const double qim = height_[i - 1];
+    const double nip = pos_[i + 1];
+    const double ni = pos_[i];
+    const double nim = pos_[i - 1];
+    double candidate =
+        qi + s / (nip - nim) *
+                 ((ni - nim + s) * (qip - qi) / (nip - ni) +
+                  (nip - ni - s) * (qi - qim) / (ni - nim));
+    if (candidate <= qim || candidate >= qip) {
+      // Parabolic prediction left the bracket: linear update.
+      candidate = s > 0 ? qi + (qip - qi) / (nip - ni)
+                        : qi - (qim - qi) / (nim - ni);
+    }
+    height_[i] = candidate;
+    pos_[i] += s;
+  }
+}
+
+double P2Quantile::estimate() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact: interpolated order statistic over the sorted prefix.
+    std::array<double, 5> sorted = height_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n_));
+    const double rank = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return height_[2];
+}
+
+// --- Histogram ------------------------------------------------------------
+
+HistogramOptions HistogramOptions::exponential(double start, double factor,
+                                               std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("HistogramOptions::exponential: need start > 0, factor > 1");
+  }
+  HistogramOptions o;
+  o.bucket_bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    o.bucket_bounds.push_back(b);
+    b *= factor;
+  }
+  return o;
+}
+
+HistogramOptions HistogramOptions::latency_ms() {
+  return exponential(0.25, 2.0, 15);  // 0.25 ms .. 4096 ms, then overflow
+}
+
+Histogram::Histogram(HistogramOptions options, const bool* enabled)
+    : enabled_(enabled), bounds_(std::move(options.bucket_bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must ascend");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double v) {
+  if (!*enabled_) return;
+  // le semantics: a value equal to a bound belongs to that bound's bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  p50_.add(v);
+  p90_.add(v);
+  p99_.add(v);
+}
+
+double Histogram::bucket_bound(std::size_t i) const {
+  if (i < bounds_.size()) return bounds_[i];
+  if (i == bounds_.size()) return std::numeric_limits<double>::infinity();
+  throw std::out_of_range("Histogram::bucket_bound");
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+Labels MetricsRegistry::normalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name, Labels labels) {
+  Key key{std::string(name), normalize(std::move(labels))};
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::move(key),
+                      std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  Key key{std::string(name), normalize(std::move(labels))};
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::move(key), std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      HistogramOptions options, Labels labels) {
+  Key key{std::string(name), normalize(std::move(labels))};
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::move(key), std::unique_ptr<Histogram>(new Histogram(
+                                          std::move(options), &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(size());
+  for (const auto& [key, c] : counters_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, g] : gauges_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, h] : histograms_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->p50();
+    s.p90 = h->p90();
+    s.p99 = h->p99();
+    s.buckets.reserve(h->bucket_count());
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      s.buckets.emplace_back(h->bucket_bound(i), h->bucket_value(i));
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+}  // namespace mntp::obs

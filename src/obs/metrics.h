@@ -1,0 +1,212 @@
+// Metrics registry: counters, gauges and histograms keyed by name+labels.
+//
+// The registry is the quantitative half of the observability layer (the
+// trace-event sink in obs/trace_event.h is the qualitative half). Design
+// constraints, in order:
+//
+//   1. Hot-path cheapness. Instrumented code resolves a handle (Counter*,
+//      Gauge*, Histogram*) ONCE at construction; recording through the
+//      handle is O(1) with no map lookup, no locking (the simulation is
+//      single-threaded by design) and no allocation. A disabled registry
+//      reduces every record to one predictable branch.
+//   2. Determinism. Metrics only observe; nothing in the library reads a
+//      metric back to make a decision, so instrumentation can never
+//      perturb an experiment's RNG streams or event order.
+//   3. Self-description. The registry can snapshot itself into plain
+//      structs that the report writer (obs/report.h) serializes without
+//      knowing anything about individual metrics.
+//
+// Histograms record into fixed buckets (for distribution shape) AND into
+// P-squared streaming quantile estimators (for accurate p50/p90/p99
+// without retaining samples) — the two complement each other: buckets are
+// mergeable and exact-boundary, P² is O(1)-memory and boundary-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mntp::obs {
+
+/// Metric labels: key/value pairs, e.g. {{"dir","up"}}. Stored sorted by
+/// key so label order at the call site does not create distinct series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    if (*enabled_) value_ = v;
+  }
+  void add(double d) {
+    if (*enabled_) value_ += d;
+  }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0.0;
+};
+
+/// P-squared (P²) streaming quantile estimator (Jain & Chlamtac, 1985):
+/// tracks one quantile of a stream in O(1) memory and O(1) per sample by
+/// maintaining five markers whose heights follow a piecewise-parabolic
+/// interpolation of the empirical CDF. Exact for the first five samples.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; exact order statistic while n <= 5.
+  [[nodiscard]] double estimate() const;
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  std::array<double, 5> height_{};    // marker heights (sample values)
+  std::array<double, 5> pos_{};       // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> incr_{};      // desired-position increments
+};
+
+struct HistogramOptions {
+  /// Ascending upper bounds of the finite buckets; an implicit +inf
+  /// overflow bucket is always appended.
+  std::vector<double> bucket_bounds;
+
+  /// Geometric bucket ladder: {start, start*factor, ...} (count bounds).
+  static HistogramOptions exponential(double start, double factor,
+                                      std::size_t count);
+  /// Default ladder for latency-style metrics in milliseconds:
+  /// 0.25 ms .. ~4 s in x2 steps (15 finite buckets).
+  static HistogramOptions latency_ms();
+};
+
+/// Fixed-bucket histogram + streaming p50/p90/p99 + running moments.
+class Histogram {
+ public:
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double p50() const { return p50_.estimate(); }
+  [[nodiscard]] double p90() const { return p90_.estimate(); }
+  [[nodiscard]] double p99() const { return p99_.estimate(); }
+
+  /// Finite buckets plus the trailing overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  /// Upper bound of bucket i; +inf for the last (overflow) bucket.
+  [[nodiscard]] double bucket_bound(std::size_t i) const;
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const {
+    return counts_.at(i);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(HistogramOptions options, const bool* enabled);
+  const bool* enabled_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile p50_{0.50};
+  P2Quantile p90_{0.90};
+  P2Quantile p99_{0.99};
+};
+
+/// Point-in-time copy of one metric, for export (see obs/report.h).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  Labels labels;
+
+  double value = 0.0;  ///< counter (cast) or gauge value
+
+  // Histogram-only payload.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// (upper bound, count) per bucket; the final bound is +inf.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Returned pointers stay valid for the registry's
+  /// lifetime; call once at setup and record through the handle.
+  Counter* counter(std::string_view name, Labels labels = {});
+  Gauge* gauge(std::string_view name, Labels labels = {});
+  Histogram* histogram(std::string_view name,
+                       HistogramOptions options = HistogramOptions::latency_ms(),
+                       Labels labels = {});
+
+  /// Disable/enable all recording (handles stay valid; records become a
+  /// single branch). Used to measure instrumentation overhead.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot every metric, ordered by (name, labels).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  static Labels normalize(Labels labels);
+
+  bool enabled_ = true;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mntp::obs

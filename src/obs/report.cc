@@ -1,0 +1,139 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace mntp::obs {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_labels(std::string& out, const Labels& labels) {
+  out += "\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\":\"";
+    out += json_escape(v);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_jsonl_line(const MetricSnapshot& s) {
+  std::string out;
+  out.reserve(128);
+  out += "{\"type\":\"metric\",\"kind\":\"";
+  switch (s.kind) {
+    case MetricSnapshot::Kind::kCounter: out += "counter"; break;
+    case MetricSnapshot::Kind::kGauge: out += "gauge"; break;
+    case MetricSnapshot::Kind::kHistogram: out += "histogram"; break;
+  }
+  out += "\",\"name\":\"";
+  out += json_escape(s.name);
+  out += "\",";
+  append_labels(out, s.labels);
+  if (s.kind != MetricSnapshot::Kind::kHistogram) {
+    out += ",\"value\":";
+    append_number(out, s.value);
+    out += '}';
+    return out;
+  }
+  out += ",\"count\":";
+  out += std::to_string(s.count);
+  out += ",\"sum\":";
+  append_number(out, s.sum);
+  out += ",\"min\":";
+  append_number(out, s.min);
+  out += ",\"max\":";
+  append_number(out, s.max);
+  out += ",\"p50\":";
+  append_number(out, s.p50);
+  out += ",\"p90\":";
+  append_number(out, s.p90);
+  out += ",\"p99\":";
+  append_number(out, s.p99);
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [le, count] : s.buckets) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"le\":";
+    if (std::isinf(le)) {
+      out += "\"inf\"";
+    } else {
+      append_number(out, le);
+    }
+    out += ",\"count\":";
+    out += std::to_string(count);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void write_run_report(std::ostream& out, const Telemetry& telemetry,
+                      const RingBufferSink* trace,
+                      const ReportOptions& options) {
+  const std::vector<MetricSnapshot> metrics = telemetry.metrics().snapshot();
+  const std::size_t event_count = trace ? trace->events().size() : 0;
+
+  out << "{\"type\":\"meta\",\"schema_version\":1,\"run\":\""
+      << json_escape(options.run_name)
+      << "\",\"sim_end_ns\":" << options.sim_end.ns()
+      << ",\"metric_count\":" << metrics.size()
+      << ",\"event_count\":" << event_count << "}\n";
+
+  for (const MetricSnapshot& s : metrics) out << to_jsonl_line(s) << '\n';
+  if (trace) {
+    // Emission order is already sim-time order within one simulation run,
+    // but a bench that runs several sub-experiments restarts sim time at
+    // the epoch for each; stable-sort so the schema's "events in
+    // sim-time order" promise holds regardless (ties keep emission order).
+    std::vector<TraceEvent> events;
+    events.reserve(trace->events().size());
+    for (std::size_t i = 0; i < trace->events().size(); ++i) {
+      events.push_back(trace->events()[i]);
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.t.ns() < b.t.ns();
+                     });
+    for (const TraceEvent& e : events) out << to_jsonl_line(e) << '\n';
+  }
+}
+
+core::Status write_run_report_file(const std::string& path,
+                                   const Telemetry& telemetry,
+                                   const RingBufferSink* trace,
+                                   const ReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return core::Error::io("cannot open telemetry report path: " + path);
+  }
+  write_run_report(out, telemetry, trace, options);
+  out.flush();
+  if (!out) {
+    return core::Error::io("failed writing telemetry report: " + path);
+  }
+  return {};
+}
+
+}  // namespace mntp::obs

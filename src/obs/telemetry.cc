@@ -1,0 +1,74 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+
+namespace mntp::obs {
+
+void Telemetry::add_sink(TraceSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+  }
+}
+
+void Telemetry::remove_sink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void Telemetry::clear_sinks() { sinks_.clear(); }
+
+void Telemetry::emit(const TraceEvent& event) {
+  if (!enabled_) return;
+  for (TraceSink* sink : sinks_) sink->on_event(event);
+}
+
+void Telemetry::event(core::TimePoint t, std::string_view category,
+                      std::string_view name, std::vector<Field> fields) {
+  if (!enabled_ || sinks_.empty()) return;
+  emit(TraceEvent{.t = t,
+                  .category = std::string(category),
+                  .name = std::string(name),
+                  .fields = std::move(fields)});
+}
+
+void Telemetry::flush() {
+  for (TraceSink* sink : sinks_) sink->flush();
+}
+
+void Telemetry::set_enabled(bool enabled) {
+  enabled_ = enabled;
+  metrics_.set_enabled(enabled);
+}
+
+Telemetry*& Telemetry::global_slot() {
+  static Telemetry default_instance;
+  static Telemetry* current = &default_instance;
+  return current;
+}
+
+Telemetry& Telemetry::global() { return *global_slot(); }
+
+SpanTimer::SpanTimer(Telemetry& telemetry, std::string_view name,
+                     core::TimePoint sim_start)
+    : wall_us_(telemetry.metrics().histogram(
+          std::string(name) + ".wall_us",
+          HistogramOptions::exponential(1.0, 4.0, 12))),
+      sim_ms_(telemetry.metrics().histogram(
+          std::string(name) + ".sim_ms",
+          HistogramOptions::exponential(1.0, 4.0, 14))),
+      sim_start_(sim_start),
+      wall_start_(std::chrono::steady_clock::now()) {}
+
+SpanTimer::~SpanTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - wall_start_;
+  wall_us_->record(
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          elapsed)
+          .count());
+}
+
+void SpanTimer::finish(core::TimePoint sim_end) {
+  sim_ms_->record((sim_end - sim_start_).to_millis());
+}
+
+}  // namespace mntp::obs

@@ -1,0 +1,129 @@
+// Telemetry context: one object bundling the metrics registry and the
+// trace-event sinks, global by default but injectable per run.
+//
+// Instrumented components resolve their metric handles from the telemetry
+// that is *current at their construction time*. The process-wide default
+// (`Telemetry::global()`) always exists, so instrumentation never needs a
+// null check; a bench or test that wants an isolated view installs its
+// own context with `ScopedTelemetry` BEFORE building the components it
+// wants to observe:
+//
+//     obs::Telemetry tel;
+//     obs::RingBufferSink ring;
+//     tel.add_sink(&ring);
+//     obs::ScopedTelemetry scope(tel);   // global() now returns tel
+//     ntp::Testbed bed(config);          // components bind to tel
+//     ...run...                           // tel.metrics(), ring.events()
+//
+// Tracing discipline: event *construction* is the expensive part (field
+// vectors, strings), so emitters must guard with `tracing()` — with no
+// sinks attached (the default), an instrumented hot path pays only its
+// counter increments. Everything here is single-threaded by design, like
+// the simulation kernel itself.
+//
+// Wall-clock caveat: `SpanTimer` reads the host's steady clock for
+// profiling. That never feeds back into simulation behaviour — simulated
+// experiments stay bit-deterministic; only the telemetry *output* carries
+// host-dependent wall durations.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/time.h"
+#include "obs/metrics.h"
+#include "obs/trace_event.h"
+
+namespace mntp::obs {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attach a non-owning sink; the sink must outlive this context (or be
+  /// removed first).
+  void add_sink(TraceSink* sink);
+  void remove_sink(TraceSink* sink);
+  void clear_sinks();
+
+  /// True when at least one sink is attached — emitters use this to skip
+  /// event construction entirely on untraced runs.
+  [[nodiscard]] bool tracing() const { return !sinks_.empty(); }
+
+  /// Fan an event out to every sink. Cheap no-op without sinks, but
+  /// callers should still guard construction with tracing().
+  void emit(const TraceEvent& event);
+
+  /// Convenience emitter.
+  void event(core::TimePoint t, std::string_view category,
+             std::string_view name, std::vector<Field> fields = {});
+
+  void flush();
+
+  /// Master switch: disables metric recording AND event emission. Metric
+  /// handles stay valid; every record degrades to one branch. Used to
+  /// quantify instrumentation overhead.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// The current process-wide context (the installed scoped context, or
+  /// the built-in default).
+  [[nodiscard]] static Telemetry& global();
+
+ private:
+  friend class ScopedTelemetry;
+  static Telemetry*& global_slot();
+
+  MetricsRegistry metrics_;
+  std::vector<TraceSink*> sinks_;
+  bool enabled_ = true;
+};
+
+/// Installs `telemetry` as the global context for this scope; restores
+/// the previous context on destruction. Nestable.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(Telemetry& telemetry)
+      : previous_(Telemetry::global_slot()) {
+    Telemetry::global_slot() = &telemetry;
+  }
+  ~ScopedTelemetry() { Telemetry::global_slot() = previous_; }
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  Telemetry* previous_;
+};
+
+/// Scoped timing span recording BOTH wall-clock (host performance) and
+/// simulated-time duration into histograms `<name>.wall_us` and
+/// `<name>.sim_ms`. Wall time is recorded on destruction; sim time only
+/// if finish() supplied the end instant (the span cannot read the
+/// simulation clock itself).
+class SpanTimer {
+ public:
+  SpanTimer(Telemetry& telemetry, std::string_view name,
+            core::TimePoint sim_start);
+  ~SpanTimer();
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  /// Record the simulated-time duration [sim_start, sim_end].
+  void finish(core::TimePoint sim_end);
+
+ private:
+  Histogram* wall_us_;
+  Histogram* sim_ms_;
+  core::TimePoint sim_start_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace mntp::obs

@@ -2,21 +2,58 @@
 
 namespace mntp::sim {
 
+namespace {
+
+/// Queue depths are small integers; linear-ish low buckets then doubling.
+obs::HistogramOptions queue_depth_buckets() {
+  return obs::HistogramOptions{.bucket_bounds = {1, 2, 4, 8, 16, 32, 64, 128,
+                                                 256, 512, 1024}};
+}
+
+}  // namespace
+
+Simulation::Simulation()
+    : telemetry_(&obs::Telemetry::global()),
+      dispatched_counter_(
+          telemetry_->metrics().counter("sim.events_dispatched")),
+      queue_depth_(telemetry_->metrics().histogram("sim.queue_depth",
+                                                   queue_depth_buckets())) {}
+
+void Simulation::set_telemetry(obs::Telemetry& telemetry) {
+  telemetry_ = &telemetry;
+  dispatched_counter_ = telemetry_->metrics().counter("sim.events_dispatched");
+  queue_depth_ = telemetry_->metrics().histogram("sim.queue_depth",
+                                                 queue_depth_buckets());
+}
+
+void Simulation::dispatch_next() {
+  now_ = queue_.next_time();
+  // Sample queue depth every 64th dispatch: depth histograms want shape,
+  // not per-event resolution, and the dispatch loop is the hottest path
+  // in the simulator.
+  if ((executed_ & 63u) == 0) {
+    queue_depth_->record(static_cast<double>(queue_.size()));
+  }
+  queue_.run_next();
+  ++executed_;
+  dispatched_counter_->inc();
+}
+
 void Simulation::run_until(core::TimePoint deadline) {
+  obs::SpanTimer span(*telemetry_, "sim.run_until", now_);
   while (!queue_.empty() && queue_.next_time() <= deadline) {
-    now_ = queue_.next_time();
-    queue_.run_next();
-    ++executed_;
+    dispatch_next();
   }
   if (deadline > now_) now_ = deadline;
+  span.finish(now_);
 }
 
 void Simulation::run() {
+  obs::SpanTimer span(*telemetry_, "sim.run", now_);
   while (!queue_.empty()) {
-    now_ = queue_.next_time();
-    queue_.run_next();
-    ++executed_;
+    dispatch_next();
   }
+  span.finish(now_);
 }
 
 void PeriodicProcess::start(core::Duration initial_delay) {

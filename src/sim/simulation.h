@@ -11,13 +11,14 @@
 #include <utility>
 
 #include "core/time.h"
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 
 namespace mntp::sim {
 
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -37,10 +38,10 @@ class Simulation {
     return queue_.schedule(now_ + delay, std::move(action));
   }
 
-  /// Run events until the queue is exhausted or the next event is past
-  /// `deadline`; leaves now() at min(deadline, last event time fired).
-  /// Advances now() to `deadline` on return so subsequent scheduling is
-  /// relative to the deadline.
+  /// Run every event with timestamp <= `deadline`, in order. On return
+  /// now() == max(now(), deadline) — even when no event fired at the
+  /// deadline itself — so subsequent relative scheduling (`after`) is
+  /// anchored at the deadline. A deadline in the past is a no-op.
   void run_until(core::TimePoint deadline);
 
   /// Run until the queue is fully drained.
@@ -51,10 +52,23 @@ class Simulation {
 
   [[nodiscard]] EventQueue& queue() { return queue_; }
 
+  /// Telemetry context this simulation records into. Bound at
+  /// construction to the then-current obs::Telemetry::global(); the sink
+  /// for event-queue stats (sim.events_dispatched, sim.queue_depth) and
+  /// run_until timing spans.
+  [[nodiscard]] obs::Telemetry& telemetry() const { return *telemetry_; }
+  /// Rebind (e.g. a long-lived simulation crossing telemetry scopes).
+  void set_telemetry(obs::Telemetry& telemetry);
+
  private:
+  void dispatch_next();
+
   EventQueue queue_;
   core::TimePoint now_;
   std::uint64_t executed_ = 0;
+  obs::Telemetry* telemetry_;
+  obs::Counter* dispatched_counter_;
+  obs::Histogram* queue_depth_;
 };
 
 /// Repeating task helper: runs `action` every `interval`, starting at

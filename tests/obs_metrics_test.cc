@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace mntp::obs {
+namespace {
+
+// Exact percentile of a sample set, nearest-rank on the sorted copy.
+double exact_percentile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+TEST(Counter, IncrementsAndReads) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->inc();
+  c->inc(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(Counter, SameNameSameHandle) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.counter("y"));
+}
+
+TEST(Counter, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x", {{"b", "2"}, {"a", "1"}});
+  Counter* b = reg.counter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(a, b);
+  // Different label VALUES are distinct series.
+  EXPECT_NE(a, reg.counter("x", {{"a", "1"}, {"b", "3"}}));
+  // Labeled and unlabeled are distinct series.
+  EXPECT_NE(a, reg.counter("x"));
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("test.gauge");
+  g->set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+  g->add(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+  g->set(7.0);  // set overwrites, not accumulates
+  EXPECT_DOUBLE_EQ(g->value(), 7.0);
+}
+
+TEST(Registry, DisableTurnsRecordsIntoNoOps) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  Gauge* g = reg.gauge("g");
+  Histogram* h = reg.histogram("h");
+  c->inc();
+  g->set(1.0);
+  h->record(5.0);
+
+  reg.set_enabled(false);
+  c->inc(100);
+  g->set(99.0);
+  h->record(50.0);
+  EXPECT_EQ(c->value(), 1u);
+  EXPECT_DOUBLE_EQ(g->value(), 1.0);
+  EXPECT_EQ(h->count(), 1u);
+
+  reg.set_enabled(true);
+  c->inc();
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(Histogram, MomentsAndExtremes) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h", HistogramOptions{.bucket_bounds = {10, 20}});
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);  // empty histogram reads as 0
+  for (double v : {5.0, 15.0, 25.0, 1.0}) h->record(v);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 46.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 25.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 11.5);
+}
+
+TEST(Histogram, BucketPlacementIncludesOverflow) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h", HistogramOptions{.bucket_bounds = {1, 10}});
+  ASSERT_EQ(h->bucket_count(), 3u);  // two finite + overflow
+  h->record(0.5);   // <= 1
+  h->record(1.0);   // boundary lands in its bucket (le semantics)
+  h->record(5.0);   // <= 10
+  h->record(100.0); // overflow
+  EXPECT_EQ(h->bucket_value(0), 2u);
+  EXPECT_EQ(h->bucket_value(1), 1u);
+  EXPECT_EQ(h->bucket_value(2), 1u);
+  EXPECT_DOUBLE_EQ(h->bucket_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h->bucket_bound(1), 10.0);
+  EXPECT_TRUE(std::isinf(h->bucket_bound(2)));
+}
+
+TEST(HistogramOptions, ExponentialLadder) {
+  const HistogramOptions o = HistogramOptions::exponential(1.0, 2.0, 4);
+  ASSERT_EQ(o.bucket_bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(o.bucket_bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(o.bucket_bounds[3], 8.0);
+  // The default latency ladder is ascending (a histogram precondition).
+  const HistogramOptions lat = HistogramOptions::latency_ms();
+  EXPECT_TRUE(std::is_sorted(lat.bucket_bounds.begin(), lat.bucket_bounds.end()));
+}
+
+TEST(P2Quantile, ExactForFirstFiveSamples) {
+  P2Quantile q(0.50);
+  q.add(30);
+  q.add(10);
+  q.add(50);
+  EXPECT_DOUBLE_EQ(q.estimate(), 30.0);  // exact median of {10,30,50}
+  q.add(20);
+  q.add(40);
+  EXPECT_DOUBLE_EQ(q.estimate(), 30.0);  // exact median of {10..50}
+}
+
+TEST(P2Quantile, TracksUniformStream) {
+  core::Rng rng(42);
+  P2Quantile p50(0.50), p90(0.90), p99(0.99);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0.0, 1000.0);
+    xs.push_back(x);
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  // P² on a uniform stream converges to within a few percent of the
+  // exact order statistics.
+  EXPECT_NEAR(p50.estimate(), exact_percentile(xs, 0.50), 25.0);
+  EXPECT_NEAR(p90.estimate(), exact_percentile(xs, 0.90), 25.0);
+  EXPECT_NEAR(p99.estimate(), exact_percentile(xs, 0.99), 15.0);
+}
+
+TEST(P2Quantile, TracksLognormalTail) {
+  core::Rng rng(7);
+  P2Quantile p90(0.90);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    xs.push_back(x);
+    p90.add(x);
+  }
+  const double exact = exact_percentile(xs, 0.90);
+  EXPECT_NEAR(p90.estimate(), exact, 0.15 * exact);
+}
+
+TEST(HistogramQuantiles, MatchP2OnLatencyData) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h", HistogramOptions::latency_ms());
+  core::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.lognormal(std::log(20.0), 0.8);  // ms-ish latencies
+    xs.push_back(x);
+    h->record(x);
+  }
+  const double exact50 = exact_percentile(xs, 0.50);
+  const double exact99 = exact_percentile(xs, 0.99);
+  EXPECT_NEAR(h->p50(), exact50, 0.10 * exact50);
+  EXPECT_NEAR(h->p99(), exact99, 0.25 * exact99);
+  EXPECT_LT(h->p50(), h->p90());
+  EXPECT_LT(h->p90(), h->p99());
+}
+
+TEST(Registry, SnapshotCarriesEveryKind) {
+  MetricsRegistry reg;
+  reg.counter("b.counter", {{"dir", "up"}})->inc(3);
+  reg.gauge("a.gauge")->set(1.5);
+  Histogram* h = reg.histogram("c.hist", HistogramOptions{.bucket_bounds = {10}});
+  h->record(4.0);
+  h->record(40.0);
+
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  ASSERT_EQ(reg.size(), 3u);
+  // Sorted by name.
+  EXPECT_EQ(snaps[0].name, "a.gauge");
+  EXPECT_EQ(snaps[1].name, "b.counter");
+  EXPECT_EQ(snaps[2].name, "c.hist");
+
+  EXPECT_EQ(snaps[0].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snaps[0].value, 1.5);
+
+  EXPECT_EQ(snaps[1].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(snaps[1].value, 3.0);
+  ASSERT_EQ(snaps[1].labels.size(), 1u);
+  EXPECT_EQ(snaps[1].labels[0].first, "dir");
+
+  EXPECT_EQ(snaps[2].kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snaps[2].count, 2u);
+  EXPECT_DOUBLE_EQ(snaps[2].sum, 44.0);
+  ASSERT_EQ(snaps[2].buckets.size(), 2u);
+  EXPECT_EQ(snaps[2].buckets[0].second, 1u);
+  EXPECT_EQ(snaps[2].buckets[1].second, 1u);
+  EXPECT_TRUE(std::isinf(snaps[2].buckets[1].first));
+}
+
+TEST(Registry, SnapshotSplitsLabelSeries) {
+  MetricsRegistry reg;
+  reg.counter("tx", {{"dir", "up"}})->inc(1);
+  reg.counter("tx", {{"dir", "down"}})->inc(2);
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  // Same name, label-sorted: "down" < "up".
+  EXPECT_EQ(snaps[0].labels[0].second, "down");
+  EXPECT_DOUBLE_EQ(snaps[0].value, 2.0);
+  EXPECT_EQ(snaps[1].labels[0].second, "up");
+  EXPECT_DOUBLE_EQ(snaps[1].value, 1.0);
+}
+
+}  // namespace
+}  // namespace mntp::obs

@@ -40,6 +40,59 @@ TEST(Simulation, EventAtDeadlineRuns) {
   EXPECT_TRUE(ran);
 }
 
+// Regression tests for the run_until contract: now() always lands on the
+// deadline (never short of it), even with an empty queue, and a deadline
+// in the past is a no-op that leaves now() untouched.
+TEST(Simulation, RunUntilAdvancesNowWithEmptyQueue) {
+  Simulation sim;
+  sim.run_until(TimePoint::epoch() + Duration::seconds(4));
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::seconds(4));
+  EXPECT_EQ(sim.events_executed(), 0u);
+  // Relative scheduling is anchored at the deadline just reached.
+  double fired_at = -1.0;
+  sim.after(Duration::seconds(1), [&] { fired_at = sim.now().to_seconds(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, RunUntilAdvancesNowPastLastEvent) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.after(Duration::seconds(1), [&] { fired_at = sim.now().to_seconds(); });
+  sim.after(Duration::seconds(9), [&] { fired_at = sim.now().to_seconds(); });
+  sim.run_until(TimePoint::epoch() + Duration::seconds(3));
+  // The t=1 event ran, the t=9 event did not, and now() sits at the
+  // deadline rather than at the last event fired.
+  EXPECT_EQ(fired_at, 1.0);
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::seconds(3));
+}
+
+TEST(Simulation, RunUntilPastDeadlineIsNoOp) {
+  Simulation sim;
+  int ran = 0;
+  sim.after(Duration::seconds(2), [&] { ++ran; });
+  sim.run_until(TimePoint::epoch() + Duration::seconds(5));
+  EXPECT_EQ(ran, 1);
+  // A deadline behind now() must neither rewind time nor fire anything.
+  sim.after(Duration::seconds(4), [&] { ++ran; });
+  sim.run_until(TimePoint::epoch() + Duration::seconds(3));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::seconds(5));
+}
+
+TEST(Simulation, DispatchCountsAreObservable) {
+  obs::Telemetry telemetry;
+  obs::ScopedTelemetry scope(telemetry);
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.after(Duration::seconds(i), [] {});
+  }
+  sim.run();
+  const obs::Counter* dispatched =
+      telemetry.metrics().counter("sim.events_dispatched");
+  EXPECT_EQ(dispatched->value(), 5u);
+}
+
 TEST(Simulation, PastSchedulingClampsToNow) {
   Simulation sim;
   sim.after(Duration::seconds(5), [&] {
