@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "core/thread_pool.h"
 
 namespace mntp::bench {
 
@@ -163,6 +166,27 @@ std::string parse_telemetry_out(int argc, char** argv) {
 }
 
 }  // namespace
+
+std::size_t parse_threads(int argc, char** argv, std::size_t def) {
+  const char* value = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else {
+      constexpr const char kPrefix[] = "--threads=";
+      if (std::strncmp(arg, kPrefix, sizeof kPrefix - 1) == 0) {
+        value = arg + (sizeof kPrefix - 1);
+      }
+    }
+  }
+  if (value == nullptr) return def;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0') return def;
+  return n == 0 ? core::ThreadPool::default_workers()
+                : static_cast<std::size_t>(n);
+}
 
 BenchTelemetry::BenchTelemetry(std::string run_name, int argc, char** argv)
     : run_name_(std::move(run_name)),

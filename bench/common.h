@@ -109,6 +109,10 @@ class Checks {
 void split_engine_records(const protocol::MntpEngine& engine, Series* accepted,
                           Series* rejected, Series* corrected);
 
+/// Parse `--threads N` (or `--threads=N`) from argv; `def` when absent
+/// or malformed. 0 means "one worker per hardware thread".
+std::size_t parse_threads(int argc, char** argv, std::size_t def = 1);
+
 /// Per-run telemetry harness for bench binaries.
 ///
 /// Construct FIRST in main() — before any Testbed or client — so every

@@ -7,11 +7,16 @@
 //   B. Unstable channel: paper-default MNTP starves when hints never
 //      pass the thresholds; the max_deferral fallback keeps coarse time
 //      flowing at a quantified accuracy cost.
+//   C. Offline tuning baseline: capture a trace and grid-search it with
+//      the tuner (parallelized via --threads N) — the offline frontier
+//      the online self-tuner is trying to approach without a trace.
+#include <algorithm>
 #include <cstdio>
 
 #include "common.h"
 #include "mntp/mntp_client.h"
 #include "mntp/self_tuning.h"
+#include "mntp/tuner.h"
 
 using namespace mntp;
 
@@ -118,11 +123,67 @@ int unstable_channel() {
   return checks.finish("Extension B (unstable channel)");
 }
 
+int offline_grid_baseline(std::size_t threads) {
+  std::printf("\n== Extension C: offline grid search baseline (%zu threads) ==\n",
+              threads);
+
+  // Capture a 2-hour trace on the same testbed family as Extension A.
+  ntp::TestbedConfig config;
+  config.seed = 852;
+  config.wireless = true;
+  config.ntp_correction = true;
+  ntp::Testbed bed(config);
+  protocol::tuner::Logger logger(bed.sim(), bed.target_clock(), bed.pool(),
+                                 bed.channel(), {}, bed.fork_rng());
+  bed.start();
+  logger.start();
+  bed.sim().run_until(core::TimePoint::epoch() + core::Duration::hours(2));
+  logger.stop();
+  const protocol::Trace& trace = logger.trace();
+  std::printf("  captured %zu records over %.0f min\n", trace.size(),
+              trace.span_s() / 60.0);
+
+  // A modest grid around the head-to-head defaults: what should the
+  // regular cadence have been, given the warm-up budget?
+  protocol::tuner::SearchSpace space;
+  space.base = protocol::head_to_head_params();
+  space.warmup_periods = {core::Duration::minutes(30),
+                          core::Duration::minutes(60)};
+  space.warmup_wait_times = {core::Duration::seconds(15),
+                             core::Duration::seconds(60)};
+  space.regular_wait_times = {core::Duration::seconds(5),
+                              core::Duration::seconds(60),
+                              core::Duration::minutes(10)};
+  space.reset_periods = {core::Duration::hours(4)};
+  const auto entries =
+      protocol::tuner::search(trace, space, {.threads = threads});
+  const auto serial = protocol::tuner::search(trace, space);
+
+  const auto best = std::min_element(
+      entries.begin(), entries.end(),
+      [](const auto& a, const auto& b) { return a.rmse_ms < b.rmse_ms; });
+  std::printf("  offline-best config: %s\n", best->to_string().c_str());
+
+  bench::Checks checks;
+  checks.expect(entries.size() == 12, "grid fully enumerated");
+  bool identical = serial.size() == entries.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].rmse_ms == entries[i].rmse_ms &&
+                serial[i].requests == entries[i].requests;
+  }
+  checks.expect(identical, "parallel search matches serial bit-for-bit");
+  checks.expect(best->rmse_ms < 50.0,
+                "offline-tuned configuration reaches usable accuracy");
+  return checks.finish("Extension C (offline grid baseline)");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::parse_threads(argc, argv);
   int failures = 0;
   failures += self_tuning_tradeoff();
   failures += unstable_channel();
+  failures += offline_grid_baseline(threads);
   return failures;
 }

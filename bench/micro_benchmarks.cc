@@ -252,6 +252,49 @@ void BM_TunerEmulate(benchmark::State& state) {
 }
 BENCHMARK(BM_TunerEmulate)->Unit(benchmark::kMicrosecond);
 
+// Serial vs parallel grid search over the Table 2-shaped grid (18
+// configs, 8-hour trace). Arg is the worker count; Arg(1) is the exact
+// serial path (no pool is created). Throughput scaling = the Arg(1) time
+// divided by the Arg(N) time.
+void BM_TunerSearch(benchmark::State& state) {
+  protocol::Trace trace;
+  core::Rng rng(9);
+  for (int i = 0; i < 5760; ++i) {  // 8 hours at 5 s
+    protocol::TraceRecord r;
+    r.t_s = i * 5.0;
+    r.rssi_dbm = rng.uniform(-80, -55);
+    r.noise_dbm = rng.uniform(-95, -70);
+    r.offsets_s = {rng.normal(0, 0.01), rng.normal(0, 0.01),
+                   rng.normal(0, 0.01)};
+    trace.records.push_back(std::move(r));
+  }
+  protocol::tuner::SearchSpace space;
+  space.warmup_periods = {core::Duration::minutes(30),
+                          core::Duration::minutes(60),
+                          core::Duration::minutes(120)};
+  space.warmup_wait_times = {core::Duration::seconds(15),
+                             core::Duration::seconds(60)};
+  space.regular_wait_times = {core::Duration::minutes(5),
+                              core::Duration::minutes(15),
+                              core::Duration::minutes(30)};
+  space.reset_periods = {core::Duration::hours(4)};
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto entries = protocol::tuner::search(trace, space, {.threads = threads});
+    benchmark::DoNotOptimize(entries);
+  }
+  state.counters["configs/s"] = benchmark::Counter(
+      18.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TunerSearch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_LogGeneration(benchmark::State& state) {
   // One mid-size server (JW2, ~36k clients at 1:100) per iteration.
   for (auto _ : state) {

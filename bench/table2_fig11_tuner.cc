@@ -34,7 +34,9 @@ protocol::MntpParams paper_config(double warmup_min, double wwait_min,
 
 int main(int argc, char** argv) {
   bench::BenchTelemetry telemetry("table2_fig11_tuner", argc, argv);
+  const std::size_t threads = bench::parse_threads(argc, argv);
   std::printf("== Table 2 / Figure 11: MNTP tuner ==\n");
+  std::printf("searcher threads: %zu\n", threads);
 
   // 1. Capture the trace (logger component).
   ntp::TestbedConfig config;
@@ -110,7 +112,20 @@ int main(int argc, char** argv) {
                               core::Duration::minutes(15),
                               core::Duration::minutes(30)};
   space.reset_periods = {core::Duration::hours(4)};
-  auto entries = protocol::tuner::search(trace, space);
+  auto entries =
+      protocol::tuner::search(trace, space, {.threads = threads});
+  // The parallel searcher guarantees bit-identical output to the serial
+  // path; cross-check it on the real grid whenever threads were asked for.
+  bool parallel_matches_serial = true;
+  if (threads > 1) {
+    const auto serial = protocol::tuner::search(trace, space);
+    parallel_matches_serial = serial.size() == entries.size();
+    for (std::size_t i = 0; parallel_matches_serial && i < serial.size(); ++i) {
+      parallel_matches_serial = serial[i].rmse_ms == entries[i].rmse_ms &&
+                                serial[i].requests == entries[i].requests &&
+                                serial[i].to_string() == entries[i].to_string();
+    }
+  }
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.rmse_ms < b.rmse_ms; });
   std::printf("\n-- searcher sweep (%zu configurations, best first) --\n",
@@ -143,6 +158,8 @@ int main(int argc, char** argv) {
   checks.expect(worst_rmse / std::max(best_rmse, 1e-9) < 3.0,
                 "config spread small (paper: 1.5x between best and worst)");
   checks.expect(entries.size() == 18, "searcher enumerated the full grid");
+  checks.expect(parallel_matches_serial,
+                "parallel search output identical to serial enumeration");
   int failures = checks.finish("Table 2 / Figure 11");
   if (!telemetry.finalize(core::TimePoint::epoch() + core::Duration::hours(4))) ++failures;
   return failures;

@@ -1,0 +1,108 @@
+#include "core/thread_pool.h"
+
+#include <utility>
+
+namespace mntp::core {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers <= 1) return;  // inline-only
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared dynamic cursor: each runner claims the next unclaimed index
+  // until the range is exhausted. Slot determinism comes from fn(i)
+  // writing only to position i, not from claim order.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  auto runner = [cursor, first_error, error, error_mutex, end, &fn] {
+    for (;;) {
+      const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(*error_mutex);
+        if (!first_error->exchange(true)) *error = std::current_exception();
+      }
+    }
+  };
+
+  // One runner per worker (capped at the index count); the caller also
+  // participates so a pool of N workers applies N+1-way parallelism only
+  // bounded by the range itself.
+  const std::size_t runners = std::min(threads_.size(), count);
+  for (std::size_t r = 1; r < runners; ++r) submit(runner);
+  runner();
+  wait_idle();
+
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+std::size_t ThreadPool::default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace mntp::core

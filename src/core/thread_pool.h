@@ -1,0 +1,85 @@
+// Fixed-size worker pool with a task queue and a deterministic
+// parallel_for.
+//
+// The simulation kernel stays single-threaded by design; the pool exists
+// for embarrassingly parallel *offline* work — scoring independent tuner
+// configurations, replaying traces, batch analysis — where each unit of
+// work is a pure function of its inputs. Two properties the rest of the
+// codebase relies on:
+//
+//   1. Deterministic result placement. `parallel_for(begin, end, fn)`
+//      invokes `fn(i)` exactly once for every i in [begin, end); callers
+//      write results into slot i of a pre-sized output vector, so the
+//      *output* is bit-identical to a serial loop regardless of worker
+//      count or scheduling order. Only side effects that go through
+//      thread-safe channels (obs counters, mutexed sinks) may occur
+//      inside fn.
+//   2. Serial fallback. A pool constructed with 0 or 1 workers runs
+//      parallel_for inline on the calling thread — no worker threads are
+//      ever spawned — which makes "--threads 1" exactly the serial code
+//      path, not a one-worker approximation of it.
+//
+// Work distribution is dynamic (workers pull the next index from a shared
+// atomic cursor), so uneven per-index cost — common when emulating a
+// parameter grid where some configs act far more often — load-balances
+// without tuning.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mntp::core {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads; 0 or 1 means "run everything inline" and
+  /// spawns none.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains the queue (pending tasks still run), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 when the pool is inline-only).
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Enqueue one task. Inline-only pools run it immediately on the
+  /// calling thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Invoke `fn(i)` once for each i in [begin, end), distributed across
+  /// the workers, and block until all indices are done. Exceptions thrown
+  /// by fn are captured and the first one is rethrown here. Reentrant
+  /// calls from inside fn are not supported.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// A sensible worker count for CPU-bound work on this host: the
+  /// hardware concurrency, or 1 when it cannot be determined.
+  [[nodiscard]] static std::size_t default_workers();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;  // queued + currently executing tasks
+  bool stopping_ = false;
+};
+
+}  // namespace mntp::core

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <numeric>
 
 #include "core/format.h"
 #include "core/stats.h"
+#include "core/thread_pool.h"
 #include "obs/telemetry.h"
 
 namespace mntp::protocol::tuner {
@@ -21,13 +23,23 @@ Logger::Logger(sim::Simulation& sim, sim::DisciplinedClock& clock,
       engine_(sim, clock),
       process_(sim, params.interval, [this] { capture_once(); }) {}
 
+Logger::~Logger() { stop(); }
+
 void Logger::start() {
   start_ = sim_.now();
   started_ = true;
+  alive_ = std::make_shared<bool>(true);
   process_.start();
 }
 
-void Logger::stop() { process_.stop(); }
+void Logger::stop() {
+  process_.stop();
+  // Disarm in-flight query callbacks: they hold the flag (not the
+  // logger), so a completion after stop() or destruction is a no-op
+  // rather than a write into freed memory.
+  if (alive_) *alive_ = false;
+  started_ = false;
+}
 
 void Logger::capture_once() {
   const core::TimePoint now = sim_.now();
@@ -35,15 +47,17 @@ void Logger::capture_once() {
 
   // Query `sources` distinct pool members in parallel, unconditionally —
   // the logger captures everything; gating decisions belong to the
-  // emulator replaying the trace.
-  const std::size_t want = std::min(params_.sources, pool_.size());
-  std::vector<std::size_t> chosen;
-  while (chosen.size() < want) {
-    const std::size_t idx = pool_.pick_index();
-    if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end()) {
-      chosen.push_back(idx);
-    }
+  // emulator replaying the trace. Distinct indices come from a partial
+  // Fisher–Yates shuffle: exactly `want` draws, uniform without
+  // replacement, no rejection-sampling spin on small pools.
+  const std::size_t n = pool_.size();
+  const std::size_t want = std::min(params_.sources, n);
+  std::vector<std::size_t> chosen(n);
+  std::iota(chosen.begin(), chosen.end(), std::size_t{0});
+  for (std::size_t i = 0; i < want; ++i) {
+    std::swap(chosen[i], chosen[i + rng_.index(n - i)]);
   }
+  chosen.resize(want);
 
   auto record = std::make_shared<TraceRecord>();
   record->t_s = (now - start_).to_seconds();
@@ -54,25 +68,27 @@ void Logger::capture_once() {
   for (const std::size_t idx : chosen) {
     const ntp::ServerEndpoint ep =
         pool_.endpoint(idx, &channel_.uplink(), &channel_.downlink());
-    engine_.query(ep, params_.query_options,
-                  [this, record, outstanding](core::Result<ntp::SntpSample> r) {
-                    if (r.ok()) {
-                      record->offsets_s.push_back(r.value().offset.to_seconds());
-                    }
-                    if (--*outstanding == 0) {
-                      // Rounds complete out of order when an exchange
-                      // outlives the capture interval; keep the trace
-                      // sorted by emission time (records are nearly
-                      // sorted, so this back-insertion is cheap).
-                      auto& recs = trace_.records;
-                      auto it = recs.end();
-                      while (it != recs.begin() &&
-                             std::prev(it)->t_s > record->t_s) {
-                        --it;
-                      }
-                      recs.insert(it, std::move(*record));
-                    }
-                  });
+    engine_.query(
+        ep, params_.query_options,
+        [this, record, outstanding,
+         alive = alive_](core::Result<ntp::SntpSample> r) {
+          if (!*alive) return;  // logger stopped or destroyed mid-flight
+          if (r.ok()) {
+            record->offsets_s.push_back(r.value().offset.to_seconds());
+          }
+          if (--*outstanding == 0) {
+            // Rounds complete out of order when an exchange
+            // outlives the capture interval; keep the trace
+            // sorted by emission time (records are nearly
+            // sorted, so this back-insertion is cheap).
+            auto& recs = trace_.records;
+            auto it = recs.end();
+            while (it != recs.begin() && std::prev(it)->t_s > record->t_s) {
+              --it;
+            }
+            recs.insert(it, std::move(*record));
+          }
+        });
   }
 }
 
@@ -129,10 +145,17 @@ std::string SearchEntry::to_string() const {
       params.reset_period.to_seconds() / 60.0, rmse_ms, requests);
 }
 
-std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space) {
+std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space,
+                                const SearchOptions& options) {
   obs::Telemetry& telemetry = obs::Telemetry::global();
   obs::Counter* scored = telemetry.metrics().counter("tuner.configs_scored");
+
+  // Flatten the 4-deep cartesian product into an enumerated config
+  // vector — warmup_period outermost, reset_period innermost, matching
+  // the SearchSpace field order. Enumeration order IS the output order.
   std::vector<SearchEntry> out;
+  out.reserve(space.warmup_periods.size() * space.warmup_wait_times.size() *
+              space.regular_wait_times.size() * space.reset_periods.size());
   for (const core::Duration wp : space.warmup_periods) {
     for (const core::Duration wwt : space.warmup_wait_times) {
       for (const core::Duration rwt : space.regular_wait_times) {
@@ -143,29 +166,51 @@ std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space) {
           entry.params.warmup_wait_time = wwt;
           entry.params.regular_wait_time = rwt;
           entry.params.reset_period = rp;
-          const EmulationResult r = emulate(trace, entry.params);
-          entry.rmse_ms = r.rmse_ms;
-          entry.requests = r.requests;
-          scored->inc();
-          if (telemetry.tracing()) {
-            // Grid search is trace-driven and has no simulated clock of
-            // its own; stamp with the trace's end time.
-            const core::TimePoint t =
-                core::TimePoint::epoch() +
-                core::Duration::from_seconds(
-                    trace.empty() ? 0.0 : trace.records.back().t_s);
-            telemetry.event(t, "tuner", "config_scored",
-                            {{"config", entry.to_string()},
-                             {"rmse_ms", entry.rmse_ms},
-                             {"requests",
-                              static_cast<std::int64_t>(entry.requests)}});
-          }
           out.push_back(std::move(entry));
         }
       }
     }
   }
+
+  // Score. emulate() is pure and each worker writes only slot i, so the
+  // result is bit-identical to the serial loop for any thread count; the
+  // counter increment is atomic (obs/metrics.h), so the total is exact.
+  const auto score = [&](std::size_t i) {
+    const EmulationResult r = emulate(trace, out[i].params);
+    out[i].rmse_ms = r.rmse_ms;
+    out[i].requests = r.requests;
+    scored->inc();
+  };
+  if (options.threads <= 1) {
+    for (std::size_t i = 0; i < out.size(); ++i) score(i);
+  } else {
+    core::ThreadPool pool(options.threads);
+    pool.parallel_for(0, out.size(), score);
+  }
+
+  // Emit per-config events AFTER scoring, in enumeration order, from
+  // this thread — the event stream stays deterministic under any thread
+  // count instead of interleaving in scheduler order.
+  if (telemetry.tracing()) {
+    // Grid search is trace-driven and has no simulated clock of its own;
+    // stamp with the trace's end time.
+    const core::TimePoint t =
+        core::TimePoint::epoch() +
+        core::Duration::from_seconds(trace.empty() ? 0.0
+                                                   : trace.records.back().t_s);
+    for (const SearchEntry& entry : out) {
+      telemetry.event(
+          t, "tuner", "config_scored",
+          {{"config", entry.to_string()},
+           {"rmse_ms", entry.rmse_ms},
+           {"requests", static_cast<std::int64_t>(entry.requests)}});
+    }
+  }
   return out;
+}
+
+std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space) {
+  return search(trace, space, SearchOptions{});
 }
 
 }  // namespace mntp::protocol::tuner

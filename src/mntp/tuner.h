@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,14 +40,34 @@ struct LoggerParams {
 
 /// Records a Trace from a live (simulated) testbed. Start it, run the
 /// simulation for the capture span, then take the trace.
+///
+/// Failed rounds stay in the trace: a record whose queries all timed out
+/// has an empty `offsets_s` but keeps its wireless hints — the emulator
+/// replays it as a round the client would have attempted (requests are
+/// billed, no offset lands), which is exactly what the live client
+/// experiences on a lossy channel.
 class Logger {
  public:
   Logger(sim::Simulation& sim, sim::DisciplinedClock& clock,
          ntp::ServerPool& pool, net::WirelessChannel& channel,
          LoggerParams params, core::Rng rng);
 
+  /// Cancels the capture like stop(): queries still in flight fire into
+  /// the simulation but no longer touch this object.
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
   void start();
+
+  /// Stop capturing. The periodic process is cancelled AND any query
+  /// still in flight is disarmed — its completion callback becomes a
+  /// no-op instead of mutating a stopped (or destroyed) logger. A
+  /// stopped logger can be start()ed again; records from rounds that
+  /// were in flight across the stop are dropped, not resurrected.
   void stop();
+
+  [[nodiscard]] bool started() const { return started_; }
 
   /// The captured trace so far (records land when their round completes).
   [[nodiscard]] const Trace& trace() const { return trace_; }
@@ -64,6 +85,9 @@ class Logger {
   Trace trace_;
   core::TimePoint start_;
   bool started_ = false;
+  /// Shared liveness flag captured by in-flight query callbacks; flipped
+  /// false on stop()/destruction so late completions cannot re-enter.
+  std::shared_ptr<bool> alive_;
 };
 
 /// Result of replaying Algorithm 1 over a trace.
@@ -102,8 +126,31 @@ struct SearchSpace {
   MntpParams base;
 };
 
+struct SearchOptions {
+  /// Worker threads scoring configurations. <= 1 scores serially on the
+  /// calling thread (no pool is created); N > 1 fans the grid out over a
+  /// core::ThreadPool. Output is bit-identical either way.
+  std::size_t threads = 1;
+};
+
 /// Enumerate the cartesian product and score each combination. Entries
-/// come back in enumeration order; callers sort as needed.
+/// come back in enumeration order (warmup_period outermost, reset_period
+/// innermost — the order of the SearchSpace fields); callers sort as
+/// needed.
+///
+/// Determinism guarantee: emulate() is a pure function of (trace,
+/// params), each worker writes only its own entry's slot, and per-config
+/// trace events are emitted after scoring completes, in enumeration
+/// order, from the calling thread — so the returned entries AND the
+/// "tuner"-category event stream are bit-identical for any `threads`
+/// value. (Engine-internal events emitted by the replays themselves are
+/// mutex-serialized but land in scheduler order when threads > 1;
+/// metric totals stay exact either way.)
+[[nodiscard]] std::vector<SearchEntry> search(const Trace& trace,
+                                              const SearchSpace& space,
+                                              const SearchOptions& options);
+
+/// Serial convenience overload (SearchOptions defaults).
 [[nodiscard]] std::vector<SearchEntry> search(const Trace& trace,
                                               const SearchSpace& space);
 

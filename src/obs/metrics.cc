@@ -110,7 +110,7 @@ HistogramOptions HistogramOptions::latency_ms() {
   return exponential(0.25, 2.0, 15);  // 0.25 ms .. 4096 ms, then overflow
 }
 
-Histogram::Histogram(HistogramOptions options, const bool* enabled)
+Histogram::Histogram(HistogramOptions options, const std::atomic<bool>* enabled)
     : enabled_(enabled), bounds_(std::move(options.bucket_bounds)) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
     throw std::invalid_argument("Histogram: bucket bounds must ascend");
@@ -119,7 +119,8 @@ Histogram::Histogram(HistogramOptions options, const bool* enabled)
 }
 
 void Histogram::record(double v) {
-  if (!*enabled_) return;
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   // le semantics: a value equal to a bound belongs to that bound's bucket.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
@@ -136,7 +137,58 @@ void Histogram::record(double v) {
   p99_.add(v);
 }
 
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ ? min_ : 0.0;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ ? max_ : 0.0;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::p50() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return p50_.estimate();
+}
+
+double Histogram::p90() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return p90_.estimate();
+}
+
+double Histogram::p99() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return p99_.estimate();
+}
+
+std::size_t Histogram::bucket_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_.size();
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_.at(i);
+}
+
 double Histogram::bucket_bound(std::size_t i) const {
+  // bounds_ is immutable after construction; no lock needed.
   if (i < bounds_.size()) return bounds_[i];
   if (i == bounds_.size()) return std::numeric_limits<double>::infinity();
   throw std::out_of_range("Histogram::bucket_bound");
@@ -151,6 +203,7 @@ Labels MetricsRegistry::normalize(Labels labels) {
 
 Counter* MetricsRegistry::counter(std::string_view name, Labels labels) {
   Key key{std::string(name), normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     it = counters_
@@ -163,6 +216,7 @@ Counter* MetricsRegistry::counter(std::string_view name, Labels labels) {
 
 Gauge* MetricsRegistry::gauge(std::string_view name, Labels labels) {
   Key key{std::string(name), normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     it = gauges_
@@ -175,6 +229,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name, Labels labels) {
 Histogram* MetricsRegistry::histogram(std::string_view name,
                                       HistogramOptions options, Labels labels) {
   Key key{std::string(name), normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     it = histograms_
@@ -186,12 +241,14 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
 }
 
 std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<MetricSnapshot> out;
-  out.reserve(size());
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, c] : counters_) {
     MetricSnapshot s;
     s.kind = MetricSnapshot::Kind::kCounter;

@@ -6,9 +6,8 @@
 //
 //   1. Hot-path cheapness. Instrumented code resolves a handle (Counter*,
 //      Gauge*, Histogram*) ONCE at construction; recording through the
-//      handle is O(1) with no map lookup, no locking (the simulation is
-//      single-threaded by design) and no allocation. A disabled registry
-//      reduces every record to one predictable branch.
+//      handle is O(1) with no map lookup and no allocation. A disabled
+//      registry reduces every record to one predictable branch.
 //   2. Determinism. Metrics only observe; nothing in the library reads a
 //      metric back to make a decision, so instrumentation can never
 //      perturb an experiment's RNG streams or event order.
@@ -20,13 +19,29 @@
 // P-squared streaming quantile estimators (for accurate p50/p90/p99
 // without retaining samples) — the two complement each other: buckets are
 // mergeable and exact-boundary, P² is O(1)-memory and boundary-free.
+//
+// Thread safety. The simulation kernel is single-threaded, but offline
+// work (the parallel tuner searcher, core::ThreadPool::parallel_for
+// callers) records from worker threads, so recording is safe under
+// concurrent writers and loses no updates:
+//
+//   * Counter / Gauge — lock-free atomics (relaxed ordering; totals are
+//     exact, cross-metric ordering is unspecified);
+//   * Histogram — a per-histogram mutex around record() and the
+//     accessors (the P² marker update is a read-modify-write over five
+//     correlated arrays and cannot be usefully sharded);
+//   * MetricsRegistry — a registry mutex around find-or-create and
+//     snapshot(). Handle *resolution* may lock; recording through a
+//     resolved Counter/Gauge handle never does.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -38,37 +53,52 @@ namespace mntp::obs {
 /// key so label order at the call site does not create distinct series.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-/// Monotonic event count.
+/// Monotonic event count. Lock-free: concurrent inc() calls never lose
+/// updates (relaxed atomics — exact totals, no ordering guarantee).
 class Counter {
  public:
   void inc(std::uint64_t n = 1) {
-    if (*enabled_) value_ += n;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
   }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  std::uint64_t value_ = 0;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-written instantaneous value.
+/// Last-written instantaneous value. Lock-free; add() is a CAS loop so
+/// concurrent deltas all land (set() racing add() keeps one
+/// serialization, as for any last-writer-wins gauge).
 class Gauge {
  public:
   void set(double v) {
-    if (*enabled_) value_ = v;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
   }
   void add(double d) {
-    if (*enabled_) value_ += d;
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
   }
-  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MetricsRegistry;
-  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  double value_ = 0.0;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
 };
 
 /// P-squared (P²) streaming quantile estimator (Jain & Chlamtac, 1985):
@@ -107,33 +137,32 @@ struct HistogramOptions {
 };
 
 /// Fixed-bucket histogram + streaming p50/p90/p99 + running moments.
+/// record() and the accessors serialize on a per-histogram mutex, so
+/// concurrent recorders lose no samples and readers see consistent state.
 class Histogram {
  public:
   void record(double v);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
-  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
-  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
-  [[nodiscard]] double mean() const {
-    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
-  }
-  [[nodiscard]] double p50() const { return p50_.estimate(); }
-  [[nodiscard]] double p90() const { return p90_.estimate(); }
-  [[nodiscard]] double p99() const { return p99_.estimate(); }
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double p50() const;
+  [[nodiscard]] double p90() const;
+  [[nodiscard]] double p99() const;
 
   /// Finite buckets plus the trailing overflow bucket.
-  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket_count() const;
   /// Upper bound of bucket i; +inf for the last (overflow) bucket.
   [[nodiscard]] double bucket_bound(std::size_t i) const;
-  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const {
-    return counts_.at(i);
-  }
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t i) const;
 
  private:
   friend class MetricsRegistry;
-  Histogram(HistogramOptions options, const bool* enabled);
-  const bool* enabled_;
+  Histogram(HistogramOptions options, const std::atomic<bool>* enabled);
+  const std::atomic<bool>* enabled_;
+  mutable std::mutex mutex_;
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
   std::uint64_t count_ = 0;
@@ -183,8 +212,12 @@ class MetricsRegistry {
 
   /// Disable/enable all recording (handles stay valid; records become a
   /// single branch). Used to measure instrumentation overhead.
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::size_t size() const;
 
@@ -203,7 +236,8 @@ class MetricsRegistry {
 
   static Labels normalize(Labels labels);
 
-  bool enabled_ = true;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;  // guards the maps, not the metric values
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;

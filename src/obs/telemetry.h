@@ -18,8 +18,19 @@
 // Tracing discipline: event *construction* is the expensive part (field
 // vectors, strings), so emitters must guard with `tracing()` — with no
 // sinks attached (the default), an instrumented hot path pays only its
-// counter increments. Everything here is single-threaded by design, like
-// the simulation kernel itself.
+// counter increments.
+//
+// Thread safety: metric recording is thread-safe (see obs/metrics.h) and
+// event emission serializes on an internal mutex, so concurrent writers
+// (e.g. tuner-search workers on a core::ThreadPool) never interleave
+// *within* a sink and sinks themselves need no locking as long as all
+// emission flows through one Telemetry. Cross-thread event ORDER is
+// whatever the mutex hands out — deterministic event streams must be
+// emitted from a single thread (the parallel searcher scores on workers
+// but emits its per-config events afterwards, in enumeration order, from
+// the caller). Sink attach/detach is also serialized, but reconfiguring
+// sinks while another thread emits is still a logic error — configure
+// before fanning work out.
 //
 // Wall-clock caveat: `SpanTimer` reads the host's steady clock for
 // profiling. That never feeds back into simulation behaviour — simulated
@@ -27,7 +38,9 @@
 // host-dependent wall durations.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -55,8 +68,11 @@ class Telemetry {
   void clear_sinks();
 
   /// True when at least one sink is attached — emitters use this to skip
-  /// event construction entirely on untraced runs.
-  [[nodiscard]] bool tracing() const { return !sinks_.empty(); }
+  /// event construction entirely on untraced runs. Lock-free (reads a
+  /// cached atomic), so hot paths on any thread can poll it freely.
+  [[nodiscard]] bool tracing() const {
+    return has_sinks_.load(std::memory_order_relaxed);
+  }
 
   /// Fan an event out to every sink. Cheap no-op without sinks, but
   /// callers should still guard construction with tracing().
@@ -72,7 +88,9 @@ class Telemetry {
   /// handles stay valid; every record degrades to one branch. Used to
   /// quantify instrumentation overhead.
   void set_enabled(bool enabled);
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// The current process-wide context (the installed scoped context, or
   /// the built-in default).
@@ -83,8 +101,10 @@ class Telemetry {
   static Telemetry*& global_slot();
 
   MetricsRegistry metrics_;
+  std::mutex sink_mutex_;  // serializes emit/flush and sink attach/detach
   std::vector<TraceSink*> sinks_;
-  bool enabled_ = true;
+  std::atomic<bool> has_sinks_{false};
+  std::atomic<bool> enabled_{true};
 };
 
 /// Installs `telemetry` as the global context for this scope; restores

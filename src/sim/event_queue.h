@@ -55,9 +55,15 @@ class EventQueue {
   /// !empty().
   core::TimePoint run_next();
 
-  /// Number of scheduled events not yet fired. Cancelled events are
-  /// counted until they surface at the head of the heap (lazy deletion),
-  /// so this is an upper bound on live events.
+  /// Number of scheduled events not yet fired, INCLUDING cancelled
+  /// entries that have not yet been purged — an upper bound on live
+  /// events, never an undercount. Purging is lazy but not tied to
+  /// run_next() alone: every accessor that inspects the heap head
+  /// (empty(), next_time(), run_next()) drops cancelled entries that
+  /// have reached the head, so a cancel followed by any peek may lower
+  /// size() by more than the peek itself consumed. The bound is exact
+  /// (size() == live events) whenever no cancelled entry is buried
+  /// behind a live one.
   [[nodiscard]] std::size_t size() const { return live_; }
 
   void clear();

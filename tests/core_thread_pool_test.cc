@@ -1,0 +1,110 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mntp::core {
+namespace {
+
+TEST(ThreadPool, InlinePoolSpawnsNoThreads) {
+  ThreadPool zero(0);
+  ThreadPool one(1);
+  EXPECT_EQ(zero.size(), 0u);
+  EXPECT_EQ(one.size(), 0u);
+  // submit runs inline and synchronously.
+  int ran = 0;
+  zero.submit([&] { ++ran; });
+  one.submit([&] { ++ran; });
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForDeterministicSlots) {
+  // fn(i) writing slot i gives output identical to the serial loop.
+  auto f = [](std::size_t i) { return static_cast<double>(i * i) * 0.5; };
+  std::vector<double> serial(513), parallel(513);
+  for (std::size_t i = 0; i < serial.size(); ++i) serial[i] = f(i);
+  ThreadPool pool(3);
+  pool.parallel_for(0, parallel.size(),
+                    [&](std::size_t i) { parallel[i] = f(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSubrange) {
+  ThreadPool pool(2);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(4, 4, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 0);
+  pool.parallel_for(3, 7, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
+  EXPECT_EQ(hits[3], 1);
+  EXPECT_EQ(hits[6], 1);
+  EXPECT_EQ(hits[7], 0);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 64,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  // The failing index aborts only itself; the rest of the range ran.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ParallelForInlineOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  // Inline execution means strictly ascending order — a property only
+  // the serial path has.
+  pool.parallel_for(0, 50, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ReusableAcrossParallelForCalls) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(0, 100, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 20u * (99u * 100u / 2u));
+}
+
+TEST(ThreadPool, DefaultWorkersPositive) {
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace mntp::core

@@ -1,9 +1,15 @@
 // Trace round-trip and tuner (logger/emulator/searcher) tests.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <optional>
+
+#include "core/rng.h"
 #include "mntp/trace.h"
 #include "mntp/tuner.h"
 #include "ntp/testbed.h"
+#include "obs/telemetry.h"
+#include "obs/trace_event.h"
 
 namespace mntp::protocol {
 namespace {
@@ -125,6 +131,124 @@ TEST(Emulator, WarmupConsumesThreeOffsetsRegularOne) {
   EXPECT_GT(r.requests, pure_regular.requests);
 }
 
+// A "recorded" trace with realistic variation: hints wander (so some
+// configs gate differently) and offsets are noisy, all deterministic.
+Trace make_noisy_trace(std::size_t n) {
+  Trace t;
+  core::Rng rng(77);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.t_s = static_cast<double>(i) * 5.0;
+    r.rssi_dbm = rng.uniform(-85.0, -55.0);
+    r.noise_dbm = rng.uniform(-95.0, -70.0);
+    const std::size_t k = rng.index(4);  // 0..3 offsets; 0 = failed round
+    for (std::size_t j = 0; j < k; ++j) {
+      r.offsets_s.push_back(rng.normal(0.0, 0.01));
+    }
+    t.records.push_back(std::move(r));
+  }
+  return t;
+}
+
+tuner::SearchSpace golden_space() {
+  tuner::SearchSpace space;
+  space.warmup_periods = {Duration::minutes(30), Duration::minutes(60),
+                          Duration::minutes(120)};
+  space.warmup_wait_times = {Duration::seconds(15), Duration::seconds(60)};
+  space.regular_wait_times = {Duration::minutes(5), Duration::minutes(15),
+                              Duration::minutes(30)};
+  space.reset_periods = {Duration::hours(4)};
+  return space;
+}
+
+TEST(Searcher, ParallelOutputBitIdenticalToSerial) {
+  const Trace t = make_noisy_trace(2880);  // 4 h at 5 s
+  const auto space = golden_space();
+  const auto serial = tuner::search(t, space, {.threads = 1});
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    const auto parallel = tuner::search(t, space, {.threads = threads});
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical: same enumeration order, same doubles, not "close".
+      EXPECT_EQ(serial[i].rmse_ms, parallel[i].rmse_ms)
+          << "entry " << i << ", " << threads << " threads";
+      EXPECT_EQ(serial[i].requests, parallel[i].requests)
+          << "entry " << i << ", " << threads << " threads";
+      EXPECT_EQ(serial[i].to_string(), parallel[i].to_string())
+          << "entry " << i << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(Searcher, ParallelTunerEventStreamIdenticalToSerial) {
+  // The searcher's own events ("tuner" category) are emitted after
+  // scoring, in enumeration order, from the calling thread — so that
+  // sub-stream is bit-identical for any thread count. (Engine-internal
+  // events emitted while replays score on workers are mutex-serialized
+  // but interleave in scheduler order; they carry no cross-config
+  // information.)
+  const Trace t = make_noisy_trace(720);
+  const auto space = golden_space();
+
+  auto capture = [&](std::size_t threads) {
+    obs::Telemetry tel;
+    obs::RingBufferSink ring(1 << 18);
+    tel.add_sink(&ring);
+    obs::ScopedTelemetry scope(tel);
+    (void)tuner::search(t, space, {.threads = threads});
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < ring.events().size(); ++i) {
+      if (ring.events()[i].category == "tuner") {
+        lines.push_back(obs::to_jsonl_line(ring.events()[i]));
+      }
+    }
+    EXPECT_EQ(ring.evicted(), 0u);
+    return lines;
+  };
+
+  const auto serial = capture(1);
+  const auto parallel = capture(4);
+  EXPECT_EQ(serial.size(), 18u);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Searcher, CountsEveryConfigOnceUnderParallelScoring) {
+  const Trace t = make_noisy_trace(360);
+  obs::Telemetry tel;
+  obs::ScopedTelemetry scope(tel);
+  (void)tuner::search(t, golden_space(), {.threads = 4});
+  EXPECT_EQ(tel.metrics().counter("tuner.configs_scored")->value(), 18u);
+}
+
+TEST(Emulator, FailedRoundBillsRequestsButReportsNoOffset) {
+  // Decision pinned here: all-queries-failed records STAY in the trace
+  // (hints drive gating/deferral) and replay as a round that costs
+  // requests but lands no sample — matching what the live client
+  // experiences when its queries time out.
+  Trace t;
+  for (std::size_t i = 0; i < 3; ++i) {
+    TraceRecord r;
+    r.t_s = static_cast<double>(i) * 5.0;
+    r.rssi_dbm = -60.0;  // gate open
+    r.noise_dbm = -92.0;
+    // middle record: every query failed
+    if (i != 1) r.offsets_s = {0.001};
+    t.records.push_back(std::move(r));
+  }
+  MntpParams p = head_to_head_params();
+  const auto with_failed = tuner::emulate(t, p);
+
+  Trace only_good = t;
+  only_good.records.erase(only_good.records.begin() + 1);
+  const auto without = tuner::emulate(only_good, p);
+
+  // The failed round still billed its requests...
+  EXPECT_GT(with_failed.requests, without.requests);
+  // ...but contributed no reported offset.
+  EXPECT_EQ(with_failed.reported_offsets_ms.size(),
+            without.reported_offsets_ms.size());
+}
+
 TEST(Searcher, EnumeratesCartesianProduct) {
   const Trace t = make_trace(100);
   tuner::SearchSpace space;
@@ -166,6 +290,78 @@ TEST(Logger, CapturesHintsAndOffsets) {
     if (!r.offsets_s.empty()) ++with_offsets;
   }
   EXPECT_GT(with_offsets, t.size() / 2);
+}
+
+TEST(Logger, DestroyWithQueriesInFlightIsSafe) {
+  // Regression: completion callbacks used to capture `this` unguarded;
+  // queries still in flight after destruction wrote into freed memory.
+  ntp::TestbedConfig config;
+  config.seed = 202;
+  config.wireless = true;
+  ntp::Testbed bed(config);
+  bed.start();
+  {
+    tuner::Logger logger(bed.sim(), bed.target_clock(), bed.pool(),
+                         bed.channel(), {}, bed.fork_rng());
+    logger.start();
+    // Long enough for capture_once to fire and launch its queries, short
+    // enough that no exchange has completed (RTTs are tens of ms).
+    bed.sim().run_until(TimePoint::epoch() + Duration::milliseconds(1));
+    EXPECT_TRUE(logger.started());
+  }  // destroyed with ~3 SNTP exchanges outstanding
+  // Drain: the orphaned completions fire and must be no-ops.
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(1));
+}
+
+TEST(Logger, StopDisarmsInFlightQueriesAndResetsStarted) {
+  ntp::TestbedConfig config;
+  config.seed = 203;
+  config.wireless = true;
+  ntp::Testbed bed(config);
+  tuner::Logger logger(bed.sim(), bed.target_clock(), bed.pool(),
+                       bed.channel(), {}, bed.fork_rng());
+  bed.start();
+  EXPECT_FALSE(logger.started());
+  logger.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::milliseconds(1));
+  logger.stop();
+  EXPECT_FALSE(logger.started());
+  const std::size_t at_stop = logger.trace().size();
+  // The round that was in flight at stop() completes but is dropped.
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(1));
+  EXPECT_EQ(logger.trace().size(), at_stop);
+
+  // A stopped logger restarts cleanly and captures again.
+  logger.start();
+  EXPECT_TRUE(logger.started());
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(3));
+  logger.stop();
+  EXPECT_GT(logger.trace().size(), at_stop);
+}
+
+TEST(Logger, SmallPoolDrawsDistinctServersWithoutSpin) {
+  // sources > pool size used to make the rejection-sampling draw loop
+  // degenerate; the partial Fisher–Yates draws min(sources, size)
+  // distinct indices in exactly that many RNG draws.
+  ntp::TestbedConfig config;
+  config.seed = 204;
+  config.wireless = true;
+  config.ntp_correction = false;  // default peer set needs a larger pool
+  config.pool.server_count = 2;   // smaller than the default sources = 3
+  ntp::Testbed bed(config);
+  tuner::LoggerParams lp;
+  lp.sources = 3;
+  tuner::Logger logger(bed.sim(), bed.target_clock(), bed.pool(),
+                       bed.channel(), lp, bed.fork_rng());
+  bed.start();
+  logger.start();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+  logger.stop();
+  bed.sim().run_until(TimePoint::epoch() + Duration::minutes(6));
+  ASSERT_GT(logger.trace().size(), 10u);
+  for (const auto& r : logger.trace().records) {
+    EXPECT_LE(r.offsets_s.size(), 2u);  // at most pool-size distinct sources
+  }
 }
 
 TEST(LoggerEmulatorEndToEnd, CapturedTraceReplays) {

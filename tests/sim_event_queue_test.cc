@@ -109,5 +109,55 @@ TEST(EventQueue, DefaultHandleIsInert) {
   h.cancel();  // no-op
 }
 
+// Pins the size() contract: an upper bound that counts cancelled entries
+// until lazy purging reaches them — and purging happens on ANY
+// head-inspecting accessor (empty(), next_time(), run_next()), not only
+// when the entry would have fired.
+TEST(EventQueue, SizeAcrossCancelPeekRunSequences) {
+  EventQueue q;
+  EventHandle a = q.schedule(at_ms(1), [] {});
+  EventHandle b = q.schedule(at_ms(2), [] {});
+  q.schedule(at_ms(3), [] {});
+  EXPECT_EQ(q.size(), 3u);
+
+  // Cancelling a buried entry does NOT change size() by itself.
+  b.cancel();
+  EXPECT_EQ(q.size(), 3u);
+
+  // Cancelling the head entry still doesn't change size() — no peek yet.
+  a.cancel();
+  EXPECT_EQ(q.size(), 3u);
+
+  // A const peek purges cancelled entries at the head: a drops here.
+  EXPECT_EQ(q.next_time(), at_ms(3));  // b is gone too: it surfaced next
+  EXPECT_EQ(q.size(), 1u);
+
+  // run_next() consumes the one live event.
+  q.run_next();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeUpperBoundNeverUndercounts) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(q.schedule(at_ms(i + 1), [] {}));
+  }
+  // Cancel every other event; size() stays an upper bound on the 5 live.
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  EXPECT_GE(q.size(), 5u);
+  EXPECT_EQ(q.size(), 10u);  // nothing purged yet
+
+  std::size_t ran = 0;
+  while (!q.empty()) {  // empty() purges any cancelled head first
+    EXPECT_GE(q.size(), 5u - ran);
+    q.run_next();
+    ++ran;
+  }
+  EXPECT_EQ(ran, 5u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace mntp::sim
