@@ -149,23 +149,30 @@ void Checks::expect_near(double value, double target, double tolerance,
   entries_.push_back({std::fabs(value - target) <= tolerance, buf});
 }
 
-namespace {
-
-std::string parse_telemetry_out(int argc, char** argv) {
+std::string parse_flag(int argc, char** argv, const char* flag) {
+  const std::size_t flag_len = std::strlen(flag);
+  std::string value;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--telemetry-out") == 0 && i + 1 < argc) {
-      return argv[i + 1];
-    }
-    constexpr const char kPrefix[] = "--telemetry-out=";
-    if (std::strncmp(arg, kPrefix, sizeof kPrefix - 1) == 0) {
-      return arg + (sizeof kPrefix - 1);
+    if (std::strcmp(arg, flag) == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(arg, flag, flag_len) == 0 &&
+               arg[flag_len] == '=') {
+      value = arg + flag_len + 1;
     }
   }
-  return {};
+  return value;
 }
 
-}  // namespace
+std::size_t parse_size_flag(int argc, char** argv, const char* flag,
+                            std::size_t def) {
+  const std::string value = parse_flag(argc, argv, flag);
+  if (value.empty()) return def;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return def;
+  return static_cast<std::size_t>(n);
+}
 
 std::size_t parse_threads(int argc, char** argv, std::size_t def) {
   const char* value = nullptr;
@@ -190,25 +197,51 @@ std::size_t parse_threads(int argc, char** argv, std::size_t def) {
 
 BenchTelemetry::BenchTelemetry(std::string run_name, int argc, char** argv)
     : run_name_(std::move(run_name)),
-      out_path_(parse_telemetry_out(argc, argv)),
+      out_path_(parse_flag(argc, argv, "--telemetry-out")),
+      profile_path_(parse_flag(argc, argv, "--profile-out")),
       scope_(telemetry_) {
   if (enabled()) telemetry_.add_sink(&trace_);
+  if (profiling()) telemetry_.profiler().set_enabled(true);
 }
 
 bool BenchTelemetry::finalize(core::TimePoint sim_end) {
-  if (!enabled()) return true;
-  const core::Status status = obs::write_run_report_file(
-      out_path_, telemetry_, &trace_,
-      obs::ReportOptions{.run_name = run_name_, .sim_end = sim_end});
-  if (!status.ok()) {
-    std::fprintf(stderr, "telemetry report failed: %s\n",
-                 status.error().message.c_str());
-    return false;
+  bool ok = true;
+  // Export span aggregates BEFORE the run report so profile.span.*
+  // gauges are serialized alongside the run's other metrics.
+  if (profiling()) {
+    telemetry_.profiler().export_to_metrics(telemetry_.metrics());
   }
-  std::printf("\ntelemetry report: %s (%zu metrics, %zu events)\n",
-              out_path_.c_str(), telemetry_.metrics().snapshot().size(),
-              trace_.events().size());
-  return true;
+  if (enabled()) {
+    const core::Status status = obs::write_run_report_file(
+        out_path_, telemetry_, &trace_,
+        obs::ReportOptions{.run_name = run_name_, .sim_end = sim_end});
+    if (!status.ok()) {
+      std::fprintf(stderr, "telemetry report failed: %s\n",
+                   status.error().message.c_str());
+      ok = false;
+    } else {
+      std::printf("\ntelemetry report: %s (%zu metrics, %zu events)\n",
+                  out_path_.c_str(), telemetry_.metrics().snapshot().size(),
+                  trace_.events().size());
+    }
+  }
+  if (profiling()) {
+    const core::Status status = obs::write_chrome_trace_file(
+        profile_path_, telemetry_.profiler(), run_name_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "profile trace failed: %s\n",
+                   status.error().message.c_str());
+      ok = false;
+    } else {
+      std::printf("profile trace: %s (%llu spans, %llu dropped)\n",
+                  profile_path_.c_str(),
+                  static_cast<unsigned long long>(
+                      telemetry_.profiler().total_spans()),
+                  static_cast<unsigned long long>(
+                      telemetry_.profiler().dropped()));
+    }
+  }
+  return ok;
 }
 
 int Checks::finish(const std::string& experiment_name) const {

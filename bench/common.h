@@ -113,6 +113,14 @@ void split_engine_records(const protocol::MntpEngine& engine, Series* accepted,
 /// or malformed. 0 means "one worker per hardware thread".
 std::size_t parse_threads(int argc, char** argv, std::size_t def = 1);
 
+/// Parse `--<flag> value` / `--<flag>=value` from argv (last occurrence
+/// wins); empty string when absent. `flag` includes the leading dashes.
+std::string parse_flag(int argc, char** argv, const char* flag);
+
+/// parse_flag for non-negative integers; `def` when absent or malformed.
+std::size_t parse_size_flag(int argc, char** argv, const char* flag,
+                            std::size_t def);
+
 /// Per-run telemetry harness for bench binaries.
 ///
 /// Construct FIRST in main() — before any Testbed or client — so every
@@ -120,24 +128,34 @@ std::size_t parse_threads(int argc, char** argv, std::size_t def = 1);
 /// context. Parses `--telemetry-out <path>` (or `--telemetry-out=<path>`)
 /// from argv; when present, a ring-buffer trace sink is attached and
 /// `finalize(sim_end)` writes the JSONL run report (schema in
-/// src/obs/report.h) to that path. Without the flag the run pays only
-/// counter increments and finalize() is a no-op.
+/// src/obs/report.h) to that path. Also parses `--profile-out <path>`:
+/// when present, the run's span profiler is enabled and finalize()
+/// exports span aggregates into the metrics registry (so they land in
+/// the run report too) and writes the Chrome trace-event JSON there.
+/// Without either flag the run pays only counter increments and
+/// finalize() is a no-op.
 class BenchTelemetry {
  public:
   BenchTelemetry(std::string run_name, int argc, char** argv);
 
   /// True when --telemetry-out was passed.
   [[nodiscard]] bool enabled() const { return !out_path_.empty(); }
+  /// True when --profile-out was passed (span profiling active).
+  [[nodiscard]] bool profiling() const { return !profile_path_.empty(); }
   [[nodiscard]] const std::string& out_path() const { return out_path_; }
+  [[nodiscard]] const std::string& profile_path() const {
+    return profile_path_;
+  }
   [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
 
-  /// Write the report (no-op without --telemetry-out). Returns false and
-  /// prints to stderr on I/O failure.
+  /// Write the report and/or Chrome trace (no-op without the flags).
+  /// Returns false and prints to stderr on I/O failure.
   bool finalize(core::TimePoint sim_end);
 
  private:
   std::string run_name_;
   std::string out_path_;
+  std::string profile_path_;
   obs::Telemetry telemetry_;
   obs::RingBufferSink trace_;
   obs::ScopedTelemetry scope_;

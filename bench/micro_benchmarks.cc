@@ -14,6 +14,7 @@
 #include "ntp/packet.h"
 #include "ntp/selection.h"
 #include "ntp/testbed.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace_event.h"
 
@@ -151,6 +152,39 @@ void BM_EngineRoundTelemetryDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineRoundTelemetryDisabled);
+
+// Span-profiler overhead on the same hot path. BM_EngineRound above IS
+// the profiler-disabled case (each on_round opens a ProfileScope that
+// sees the default-off flag); comparing it against the seed's numbers
+// pins the disabled-profiler cost, which must stay within 1% (DESIGN.md
+// §6). This variant measures the profiler fully on.
+void BM_EngineRoundProfilerEnabled(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  telemetry.profiler().set_enabled(true);
+  obs::ScopedTelemetry scope(telemetry);
+  protocol::MntpEngine engine(protocol::head_to_head_params(),
+                              core::TimePoint::epoch());
+  core::Rng rng(6);
+  std::int64_t t = 0;
+  std::vector<double> offsets(1);
+  for (auto _ : state) {
+    t += 5'000'000'000;
+    offsets[0] = rng.normal(0, 0.003);
+    auto r = engine.on_round(core::TimePoint::from_ns(t), offsets);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineRoundProfilerEnabled);
+
+void BM_ProfileScopeDisabled(benchmark::State& state) {
+  // The bare cost a disabled ProfileScope adds to any instrumented
+  // function: one current_profiler() call, one relaxed load, one branch.
+  for (auto _ : state) {
+    obs::ProfileScope span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ProfileScopeDisabled);
 
 void BM_EngineRoundTracedNullSink(benchmark::State& state) {
   obs::Telemetry telemetry;

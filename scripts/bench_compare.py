@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare a perf-suite run against the committed baseline.
+
+  bench_compare.py BENCH_baseline.json BENCH_results.json
+      [--tolerance R] [--tolerance WORKLOAD=R] [--abs-floor-us N]
+
+Per workload the candidate's median must satisfy
+
+    candidate_median <= baseline_median * (1 + tolerance)
+                        + max(abs_floor_us, 4 * baseline_mad)
+
+The relative tolerance (default 0.5 — CI machines are noisy; this gate
+exists to catch the 2x accident, not the 5% drift) can be overridden
+globally or per workload with repeated `--tolerance name=R` flags. The
+MAD term widens the gate for workloads whose baseline itself wobbles;
+the absolute floor (default 200 us) keeps microsecond-scale workloads
+from failing on scheduler jitter alone.
+
+Exit status: 0 when every baseline workload passes, 1 on any regression
+or when a baseline workload is missing from the candidate, 2 on bad
+inputs. Environment differences (compiler, build type) are printed as
+warnings, not failures — a baseline from another toolchain still bounds
+an order-of-magnitude regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot load {path}: {e}")
+    if doc.get("kind") != "mntp_perf_suite" or doc.get("schema_version") != 1:
+        raise SystemExit(f"bench_compare: {path} is not a perf-suite result "
+                         "(kind mntp_perf_suite, schema_version 1)")
+    return doc
+
+
+def parse_tolerances(values, default_tolerance):
+    default = default_tolerance
+    per_workload = {}
+    for v in values:
+        if "=" in v:
+            name, _, r = v.partition("=")
+            try:
+                per_workload[name] = float(r)
+            except ValueError:
+                raise SystemExit(f"bench_compare: bad tolerance '{v}'")
+        else:
+            try:
+                default = float(v)
+            except ValueError:
+                raise SystemExit(f"bench_compare: bad tolerance '{v}'")
+    return default, per_workload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", action="append", default=[],
+                        metavar="R|WORKLOAD=R",
+                        help="relative tolerance; bare number sets the "
+                             "default, name=R overrides one workload "
+                             "(repeatable)")
+    parser.add_argument("--abs-floor-us", type=float, default=200.0,
+                        help="minimum absolute regression allowance in "
+                             "microseconds (default 200)")
+    args = parser.parse_args()
+    default_tol, overrides = parse_tolerances(args.tolerance, 0.5)
+    if default_tol < 0 or any(t < 0 for t in overrides.values()):
+        raise SystemExit("bench_compare: tolerances must be >= 0")
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    for key in ("compiler", "build_type"):
+        b = baseline.get("environment", {}).get(key)
+        c = candidate.get("environment", {}).get(key)
+        if b != c:
+            print(f"WARNING: environment.{key} differs: baseline {b!r} vs "
+                  f"candidate {c!r}")
+
+    base_by_name = {w["name"]: w for w in baseline.get("workloads", [])}
+    cand_by_name = {w["name"]: w for w in candidate.get("workloads", [])}
+    failures = 0
+
+    for name, base in base_by_name.items():
+        tol = overrides.get(name, default_tol)
+        cand = cand_by_name.get(name)
+        if cand is None:
+            print(f"FAIL {name}: missing from candidate")
+            failures += 1
+            continue
+        bm, cm = base["median_us"], cand["median_us"]
+        allowance = bm * tol + max(args.abs_floor_us,
+                                   4.0 * base.get("mad_us", 0.0))
+        limit = bm + allowance
+        ratio = cm / bm if bm > 0 else float("inf")
+        status = "PASS" if cm <= limit else "FAIL"
+        if status == "FAIL":
+            failures += 1
+        print(f"{status} {name}: median {cm:.1f} us vs baseline {bm:.1f} us "
+              f"({ratio:.2f}x, limit {limit:.1f} us, tol {tol:.0%})")
+
+    for name in cand_by_name:
+        if name not in base_by_name:
+            print(f"NOTE {name}: new workload, no baseline (add it with "
+                  f"perf_suite --out {args.baseline})")
+
+    if failures:
+        print(f"bench_compare: {failures} regression(s) against "
+              f"{args.baseline}")
+        return 1
+    print(f"bench_compare: all {len(base_by_name)} workloads within "
+          f"tolerance of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,30 +1,38 @@
 #!/usr/bin/env python3
-"""Validate a telemetry run report (JSONL, schema v1).
+"""Validate MNTP observability artifacts.
 
-The schema is defined in src/obs/report.h and DESIGN.md "Observability".
-This checker enforces, line by line:
+Three artifact kinds, detected from content (or forced with --kind):
 
-  * line 1 is a `meta` object with schema_version 1 and run/sim_end_ns/
-    metric_count/event_count;
-  * every following line is a `metric` or an `event` object with the
-    fields its kind requires;
-  * metric lines precede event lines, metric names are sorted, and the
-    meta counts match the actual body;
-  * histogram buckets have ascending finite bounds with a final "inf"
-    bucket whose counts sum to the histogram count, and p50<=p90<=p99;
-  * event t_ns values are non-decreasing (sim-time order).
+  * `report` — JSONL telemetry run report (schema v1, src/obs/report.h):
+    line 1 is a `meta` object with schema_version 1 and run/sim_end_ns/
+    metric_count/event_count; every following line is a `metric` or an
+    `event` object with the fields its kind requires; metric lines
+    precede event lines, metric names are sorted, and the meta counts
+    match the actual body; histogram buckets have ascending finite
+    bounds with a final "inf" bucket whose counts sum to the histogram
+    count, and p50<=p90<=p99; event t_ns values are non-decreasing.
+  * `profile` — Chrome trace-event JSON written by --profile-out
+    (src/obs/profiler.h): a single object with a traceEvents array of
+    "ph":"M" metadata and "ph":"X" complete events carrying numeric
+    ts/dur and args.self_us <= dur.
+  * `bench` — BENCH_results.json written by bench/perf_suite.cc:
+    schema_version 1, kind mntp_perf_suite, an environment block, and
+    per-workload robust summaries whose sample counts match `reps` and
+    whose order statistics are consistent (min<=median<=p95<=max).
 
 Usage:
-  check_telemetry_schema.py report.jsonl [--require-prefixes a.,b.]
-  check_telemetry_schema.py --generate BENCH_BINARY --out report.jsonl \
+  check_telemetry_schema.py ARTIFACT [--kind report|profile|bench]
       [--require-prefixes a.,b.]
+  check_telemetry_schema.py --generate BENCH_BINARY --out report.jsonl \
+      [--kind report|profile] [--require-prefixes a.,b.]
 
-With --generate the script runs `BENCH_BINARY --telemetry-out OUT` first
-(the binary's own exit code is ignored: shape checks may evolve
-independently of the telemetry schema) and then validates OUT.
---require-prefixes additionally demands at least one metric per listed
-name prefix, which is how the CTest wiring asserts that every layer of
-the stack (sim., net., ntp., mntp.) actually reported.
+With --generate the script first runs `BENCH_BINARY --telemetry-out OUT`
+(or `--profile-out OUT` when --kind profile) — the binary's own exit
+code is ignored: shape checks may evolve independently of the telemetry
+schema — and then validates OUT. --require-prefixes (report kind only)
+additionally demands at least one metric per listed name prefix, which
+is how the CTest wiring asserts that every layer of the stack (sim.,
+net., ntp., mntp.) actually reported.
 """
 
 import argparse
@@ -187,32 +195,176 @@ def validate(path, require_prefixes):
           f"run '{meta['run']}'")
 
 
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_profile(path):
+    """Chrome trace-event JSON from --profile-out / write_chrome_trace."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"SCHEMA ERROR: {path}: invalid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise SystemExit("SCHEMA ERROR: profile must be an object with "
+                         "'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise SystemExit("SCHEMA ERROR: 'traceEvents' must be an array")
+    spans = 0
+    names = set()
+    for i, e in enumerate(events):
+        def efail(msg):
+            raise SystemExit(f"SCHEMA ERROR: traceEvents[{i}]: {msg}")
+        if not isinstance(e, dict):
+            efail("not an object")
+        ph = e.get("ph")
+        if ph == "M":
+            continue  # metadata: name/args only, nothing to enforce
+        if ph != "X":
+            efail(f"unexpected phase '{ph}' (only M and X are emitted)")
+        for key in ("name", "cat", "pid", "tid", "ts", "dur", "args"):
+            if key not in e:
+                efail(f"X event missing '{key}'")
+        if not isinstance(e["name"], str) or not e["name"]:
+            efail("'name' must be a non-empty string")
+        if not is_number(e["ts"]) or e["ts"] < 0:
+            efail("'ts' must be a non-negative number")
+        if not is_number(e["dur"]) or e["dur"] < 0:
+            efail("'dur' must be a non-negative number")
+        args = e["args"]
+        if not isinstance(args, dict):
+            efail("'args' must be an object")
+        for key in ("self_us", "depth"):
+            if key not in args:
+                efail(f"args missing '{key}'")
+        if not is_number(args["self_us"]) or args["self_us"] < 0:
+            efail("args.self_us must be a non-negative number")
+        # Rounded independently to 3 decimals, so allow half-ULP slack.
+        if args["self_us"] > e["dur"] + 0.001:
+            efail(f"args.self_us {args['self_us']} exceeds dur {e['dur']}")
+        if not isinstance(args["depth"], int) or args["depth"] < 0:
+            efail("args.depth must be a non-negative integer")
+        spans += 1
+        names.add(e["name"])
+    print(f"OK: {path} — profile with {spans} spans, "
+          f"{len(names)} span names")
+
+
+def validate_bench(path):
+    """BENCH_results.json from bench/perf_suite.cc."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"SCHEMA ERROR: {path}: invalid JSON: {e}")
+
+    def bfail(msg):
+        raise SystemExit(f"SCHEMA ERROR: {path}: {msg}")
+    if not isinstance(doc, dict):
+        bfail("top level must be an object")
+    if doc.get("schema_version") != 1:
+        bfail(f"unsupported schema_version {doc.get('schema_version')}")
+    if doc.get("kind") != "mntp_perf_suite":
+        bfail(f"kind must be 'mntp_perf_suite', got {doc.get('kind')!r}")
+    for key in ("reps", "warmup"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            bfail(f"'{key}' must be a non-negative integer")
+    if doc["reps"] < 1:
+        bfail("'reps' must be >= 1")
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        bfail("missing 'environment' object")
+    for key in ("compiler", "build_type", "build_flags"):
+        if not isinstance(env.get(key), str):
+            bfail(f"environment.{key} must be a string")
+    if not isinstance(env.get("hardware_threads"), int):
+        bfail("environment.hardware_threads must be an integer")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        bfail("'workloads' must be a non-empty array")
+    seen = set()
+    for i, w in enumerate(workloads):
+        def wfail(msg):
+            raise SystemExit(f"SCHEMA ERROR: {path}: workloads[{i}]: {msg}")
+        if not isinstance(w, dict):
+            wfail("not an object")
+        name = w.get("name")
+        if not isinstance(name, str) or not name:
+            wfail("'name' must be a non-empty string")
+        if name in seen:
+            wfail(f"duplicate workload name '{name}'")
+        seen.add(name)
+        if w.get("unit") != "us":
+            wfail(f"'unit' must be 'us', got {w.get('unit')!r}")
+        for key in ("median_us", "mad_us", "p95_us", "min_us", "max_us",
+                    "mean_us"):
+            if not is_number(w.get(key)) or w[key] < 0:
+                wfail(f"'{key}' must be a non-negative number")
+        samples = w.get("samples_us")
+        if not isinstance(samples, list) or \
+                not all(is_number(s) for s in samples):
+            wfail("'samples_us' must be an array of numbers")
+        if len(samples) != doc["reps"]:
+            wfail(f"{len(samples)} samples but reps is {doc['reps']}")
+        if not w["min_us"] <= w["median_us"] <= w["p95_us"] <= w["max_us"]:
+            wfail("order statistics must satisfy min<=median<=p95<=max")
+    print(f"OK: {path} — perf suite with {len(workloads)} workloads, "
+          f"{doc['reps']} reps")
+
+
+def detect_kind(path):
+    """Whole-file JSON => profile/bench; otherwise JSONL run report."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return "report"
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "profile"
+    if isinstance(doc, dict) and doc.get("kind") == "mntp_perf_suite":
+        return "bench"
+    raise SystemExit(f"SCHEMA ERROR: {path}: unrecognized artifact "
+                     "(pass --kind to force)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", nargs="?", help="JSONL report to validate")
+    parser.add_argument("artifact", nargs="?", help="artifact to validate")
+    parser.add_argument("--kind", choices=("report", "profile", "bench"),
+                        help="artifact kind; detected from content if omitted")
     parser.add_argument("--generate", metavar="BINARY",
-                        help="bench binary to run with --telemetry-out first")
-    parser.add_argument("--out", help="report path for --generate")
+                        help="bench binary to run with --telemetry-out "
+                             "(--profile-out when --kind profile) first")
+    parser.add_argument("--out", help="artifact path for --generate")
     parser.add_argument("--require-prefixes", default="",
                         help="comma-separated metric-name prefixes that must "
-                             "each match at least one metric")
+                             "each match at least one metric (report kind)")
     args = parser.parse_args()
 
     if args.generate:
         if not args.out:
             parser.error("--generate requires --out")
         path = args.out
+        flag = "--profile-out" if args.kind == "profile" else "--telemetry-out"
         # The bench's own PASS/FAIL shape checks are not under test here;
         # only the telemetry output is.
-        subprocess.run([args.generate, "--telemetry-out", path],
+        subprocess.run([args.generate, flag, path],
                        stdout=subprocess.DEVNULL, check=False)
-    elif args.report:
-        path = args.report
+    elif args.artifact:
+        path = args.artifact
     else:
-        parser.error("need a report path or --generate")
+        parser.error("need an artifact path or --generate")
 
-    prefixes = [p for p in args.require_prefixes.split(",") if p]
-    validate(path, prefixes)
+    kind = args.kind or detect_kind(path)
+    if kind == "profile":
+        validate_profile(path)
+    elif kind == "bench":
+        validate_bench(path)
+    else:
+        prefixes = [p for p in args.require_prefixes.split(",") if p]
+        validate(path, prefixes)
 
 
 if __name__ == "__main__":

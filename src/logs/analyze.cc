@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metric_names.h"
+#include "obs/profiler.h"
+
 namespace mntp::logs {
 
 ServerStats LogAnalyzer::server_stats(const ServerLog& log) {
+  obs::ProfileScope profile(obs::spans::kLogsClassify);
   ServerStats s;
   s.server_id = std::string(log.spec.id);
   s.stratum = log.spec.stratum;
@@ -36,6 +40,7 @@ std::optional<double> LogAnalyzer::client_min_owd_ms(const ClientRecord& client)
 
 std::vector<ProviderOwdStats> LogAnalyzer::provider_owd_stats(
     const ServerLog& log, std::size_t min_clients) {
+  obs::ProfileScope profile(obs::spans::kLogsClassify);
   std::map<std::size_t, ProviderOwdStats> by_provider;
   std::map<std::size_t, std::size_t> sntp_count;
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/ntp_timestamp.h"
+#include "obs/metric_names.h"
+#include "obs/profiler.h"
 
 namespace mntp::logs {
 
@@ -102,6 +104,7 @@ ClientRecord LogGenerator::make_client(const ServerSpec& server,
 }
 
 ServerLog LogGenerator::generate(std::size_t server_index) {
+  obs::ProfileScope profile(obs::spans::kLogsGenerate);
   const ServerSpec& spec = kPaperServers.at(server_index);
   ServerLog log{.spec = spec, .clients = {}};
   const auto n_clients = static_cast<std::size_t>(std::max(

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metric_names.h"
+#include "obs/profiler.h"
+
 namespace mntp::protocol {
 
 namespace {
@@ -40,12 +43,13 @@ MntpEngine::MntpEngine(MntpParams params, core::TimePoint start)
   for (const SampleOutcome outcome :
        {SampleOutcome::kAcceptedWarmup, SampleOutcome::kAcceptedRegular,
         SampleOutcome::kRejectedFalseTicker, SampleOutcome::kRejectedFilter}) {
-    outcome_counters_[static_cast<std::size_t>(outcome)] = m.counter(
-        "mntp.sample", obs::Labels{{"outcome", to_string(outcome)}});
+    outcome_counters_[static_cast<std::size_t>(outcome)] =
+        m.counter(obs::metric_names::kMntpSample,
+                  obs::Labels{{"outcome", to_string(outcome)}});
   }
-  rounds_counter_ = m.counter("mntp.rounds");
-  deferrals_counter_ = m.counter("mntp.deferrals");
-  resets_counter_ = m.counter("mntp.resets");
+  rounds_counter_ = m.counter(obs::metric_names::kMntpRounds);
+  deferrals_counter_ = m.counter(obs::metric_names::kMntpDeferrals);
+  resets_counter_ = m.counter(obs::metric_names::kMntpResets);
   if (params_.warmup_period == core::Duration::zero()) {
     // Head-to-head mode: no distinct warm-up; the filter still
     // bootstraps its first min_warmup_samples unconditionally.
@@ -57,7 +61,7 @@ void MntpEngine::note_deferral(core::TimePoint t) {
   ++deferrals_;
   deferrals_counter_->inc();
   if (telemetry_->tracing()) {
-    telemetry_->event(t, "mntp", "deferral",
+    telemetry_->event(t, obs::categories::kMntp, "deferral",
                       {{"phase", std::string(to_string(phase_))}});
   }
 }
@@ -75,7 +79,7 @@ void MntpEngine::restart(core::TimePoint t) {
   ++resets_;
   resets_counter_->inc();
   if (telemetry_->tracing()) {
-    telemetry_->event(t, "mntp", "reset", {});
+    telemetry_->event(t, obs::categories::kMntp, "reset", {});
   }
   cycle_start_ = t;
   filter_.reset();
@@ -116,6 +120,7 @@ std::optional<double> MntpEngine::predict_offset_s(core::TimePoint t) const {
 
 MntpEngine::RoundResult MntpEngine::on_round(
     core::TimePoint t, const std::vector<double>& offsets_s) {
+  obs::ProfileScope profile(obs::spans::kEngineRound, t);
   ++rounds_;
   rounds_counter_->inc();
   RoundResult rr;
@@ -163,7 +168,7 @@ MntpEngine::RoundResult MntpEngine::on_round(
                                     .bootstrap = fd.bootstrap});
     outcome_counters_[static_cast<std::size_t>(rr.outcome)]->inc();
     if (telemetry_->tracing()) {
-      telemetry_->event(t, "mntp", "round",
+      telemetry_->event(t, obs::categories::kMntp, "round",
                         {{"outcome", std::string(to_string(rr.outcome))},
                          {"phase", std::string(to_string(phase_))},
                          {"offset_ms", measured * 1e3},
@@ -181,7 +186,7 @@ MntpEngine::RoundResult MntpEngine::on_round(
     rr.warmup_completed = true;
     if (telemetry_->tracing()) {
       telemetry_->event(
-          t, "mntp", "phase_transition",
+          t, obs::categories::kMntp, "phase_transition",
           {{"from", std::string("warmup")}, {"to", std::string("regular")}});
     }
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+
 namespace mntp::protocol {
 
 MntpClient::MntpClient(sim::Simulation& sim, sim::DisciplinedClock& clock,
@@ -17,9 +19,9 @@ MntpClient::MntpClient(sim::Simulation& sim, sim::DisciplinedClock& clock,
       query_options_(query_options),
       query_engine_(sim, clock) {
   obs::MetricsRegistry& m = sim_.telemetry().metrics();
-  requests_counter_ = m.counter("mntp.client.requests");
-  forced_counter_ = m.counter("mntp.client.forced_emissions");
-  clock_steps_counter_ = m.counter("mntp.client.clock_steps");
+  requests_counter_ = m.counter(obs::metric_names::kMntpClientRequests);
+  forced_counter_ = m.counter(obs::metric_names::kMntpClientForcedEmissions);
+  clock_steps_counter_ = m.counter(obs::metric_names::kMntpClientClockSteps);
 }
 
 void MntpClient::start() {
@@ -57,7 +59,7 @@ void MntpClient::attempt() {
     forced_counter_->inc();
     if (sim_.telemetry().tracing()) {
       sim_.telemetry().event(
-          sim_.now(), "mntp", "forced_emission",
+          sim_.now(), obs::categories::kMntp, "forced_emission",
           {{"rssi_dbm", hints.rssi.value()}, {"noise_dbm", hints.noise.value()}});
     }
   }
@@ -111,7 +113,7 @@ void MntpClient::finish_round(std::vector<double> offsets_s) {
     engine_->note_clock_step(rr.offset_s);
     clock_steps_counter_->inc();
     if (sim_.telemetry().tracing()) {
-      sim_.telemetry().event(now, "mntp", "clock_step",
+      sim_.telemetry().event(now, obs::categories::kMntp, "clock_step",
                              {{"step_ms", rr.offset_s * 1e3}});
     }
   }

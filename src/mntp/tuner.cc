@@ -8,6 +8,8 @@
 #include "core/format.h"
 #include "core/stats.h"
 #include "core/thread_pool.h"
+#include "obs/metric_names.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 
 namespace mntp::protocol::tuner {
@@ -148,7 +150,9 @@ std::string SearchEntry::to_string() const {
 std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space,
                                 const SearchOptions& options) {
   obs::Telemetry& telemetry = obs::Telemetry::global();
-  obs::Counter* scored = telemetry.metrics().counter("tuner.configs_scored");
+  obs::ProfileScope profile(obs::spans::kTunerSearch);
+  obs::Counter* scored =
+      telemetry.metrics().counter(obs::metric_names::kTunerConfigsScored);
 
   // Flatten the 4-deep cartesian product into an enumerated config
   // vector — warmup_period outermost, reset_period innermost, matching
@@ -176,6 +180,9 @@ std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space,
   // result is bit-identical to the serial loop for any thread count; the
   // counter increment is atomic (obs/metrics.h), so the total is exact.
   const auto score = [&](std::size_t i) {
+    // Span emitted from whichever thread scores config i — the profiler
+    // aggregates across threads; records carry the worker's thread id.
+    obs::ProfileScope config_profile(obs::spans::kTunerScoreConfig);
     const EmulationResult r = emulate(trace, out[i].params);
     out[i].rmse_ms = r.rmse_ms;
     out[i].requests = r.requests;
@@ -200,7 +207,7 @@ std::vector<SearchEntry> search(const Trace& trace, const SearchSpace& space,
                                                    : trace.records.back().t_s);
     for (const SearchEntry& entry : out) {
       telemetry.event(
-          t, "tuner", "config_scored",
+          t, obs::categories::kTuner, "config_scored",
           {{"config", entry.to_string()},
            {"rmse_ms", entry.rmse_ms},
            {"requests", static_cast<std::int64_t>(entry.requests)}});

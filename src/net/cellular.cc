@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_names.h"
 #include "obs/telemetry.h"
 
 namespace mntp::net {
@@ -13,10 +14,10 @@ class CellularNetwork::DirectionalLink final : public Link {
       : net_(net), is_uplink_(is_uplink), rng_(std::move(rng)) {
     obs::MetricsRegistry& m = obs::Telemetry::global().metrics();
     const obs::Labels dir{{"dir", is_uplink ? "up" : "down"}};
-    tx_counter_ = m.counter("net.cell.tx", dir);
-    drop_counter_ = m.counter("net.cell.drop", dir);
-    delay_ms_ =
-        m.histogram("net.cell.delay_ms", obs::HistogramOptions::latency_ms(), dir);
+    tx_counter_ = m.counter(obs::metric_names::kNetCellTx, dir);
+    drop_counter_ = m.counter(obs::metric_names::kNetCellDrop, dir);
+    delay_ms_ = m.histogram(obs::metric_names::kNetCellDelayMs,
+                            obs::HistogramOptions::latency_ms(), dir);
   }
 
   TransmitResult transmit(core::TimePoint now, std::size_t /*bytes*/) override {
@@ -69,8 +70,8 @@ class CellularNetwork::DirectionalLink final : public Link {
 
 CellularNetwork::CellularNetwork(CellularParams params, core::Rng rng)
     : params_(params), rng_(std::move(rng)) {
-  congestion_episodes_ =
-      obs::Telemetry::global().metrics().counter("net.cell.congestion_episodes");
+  congestion_episodes_ = obs::Telemetry::global().metrics().counter(
+      obs::metric_names::kNetCellCongestionEpisodes);
   next_transition_ =
       core::TimePoint::epoch() +
       core::Duration::from_seconds(

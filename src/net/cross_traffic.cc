@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_names.h"
+
 namespace mntp::net {
 
 CrossTrafficGenerator::CrossTrafficGenerator(sim::Simulation& sim,
@@ -11,8 +13,8 @@ CrossTrafficGenerator::CrossTrafficGenerator(sim::Simulation& sim,
                                              core::Rng rng)
     : sim_(sim), channel_(channel), params_(params), rng_(std::move(rng)) {
   obs::MetricsRegistry& m = sim_.telemetry().metrics();
-  downloads_counter_ = m.counter("net.xtraffic.downloads");
-  utilization_gauge_ = m.gauge("net.xtraffic.utilization");
+  downloads_counter_ = m.counter(obs::metric_names::kNetXtrafficDownloads);
+  utilization_gauge_ = m.gauge(obs::metric_names::kNetXtrafficUtilization);
 }
 
 void CrossTrafficGenerator::start() {
@@ -52,7 +54,8 @@ void CrossTrafficGenerator::begin_download() {
   const double dur_s = rng_.lognormal(
       std::log(params_.median_download.to_seconds()), params_.download_sigma);
   if (sim_.telemetry().tracing()) {
-    sim_.telemetry().event(sim_.now(), "net", "xtraffic_download",
+    sim_.telemetry().event(sim_.now(), obs::categories::kNet,
+                           "xtraffic_download",
                            {{"utilization", utilization},
                             {"duration_s", dur_s}});
   }

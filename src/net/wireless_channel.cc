@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metric_names.h"
+
 namespace mntp::net {
 
 WirelessChannel::WirelessChannel(WirelessChannelParams params, core::Rng rng)
@@ -20,12 +22,12 @@ WirelessChannel::WirelessChannel(WirelessChannelParams params, core::Rng rng)
   obs::MetricsRegistry& m = telemetry_->metrics();
   for (int d = 0; d < 2; ++d) {
     const obs::Labels dir{{"dir", d == 0 ? "up" : "down"}};
-    tx_counter_[d] = m.counter("net.wifi.tx", dir);
-    drop_counter_[d] = m.counter("net.wifi.drop", dir);
-    delay_ms_[d] =
-        m.histogram("net.wifi.delay_ms", obs::HistogramOptions::latency_ms(), dir);
+    tx_counter_[d] = m.counter(obs::metric_names::kNetWifiTx, dir);
+    drop_counter_[d] = m.counter(obs::metric_names::kNetWifiDrop, dir);
+    delay_ms_[d] = m.histogram(obs::metric_names::kNetWifiDelayMs,
+                               obs::HistogramOptions::latency_ms(), dir);
   }
-  bad_transitions_ = m.counter("net.wifi.bad_state_transitions");
+  bad_transitions_ = m.counter(obs::metric_names::kNetWifiBadStateTransitions);
   // First good->bad transition.
   next_transition_ = core::TimePoint::epoch() +
       core::Duration::from_seconds(
@@ -168,7 +170,7 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
   delay_ms_[dir]->record(delay.to_millis());
   if (telemetry_->tracing() && spike > core::Duration::zero()) {
     // Heavy-tail stalls are the events MNTP exists to dodge; trace them.
-    telemetry_->event(now, "net", "wifi_spike",
+    telemetry_->event(now, obs::categories::kNet, "wifi_spike",
                       {{"dir", std::string(is_uplink ? "up" : "down")},
                        {"delay_ms", delay.to_millis()},
                        {"spike_ms", spike.to_millis()}});

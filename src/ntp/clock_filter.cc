@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metric_names.h"
+
 namespace mntp::ntp {
 
 ClockFilter::ClockFilter(ClockFilterParams params)
@@ -12,8 +14,8 @@ ClockFilter::ClockFilter(ClockFilterParams params)
     throw std::invalid_argument("ClockFilter: stages must be > 0");
   }
   obs::MetricsRegistry& m = obs::Telemetry::global().metrics();
-  samples_counter_ = m.counter("ntp.filter.samples");
-  suppressed_counter_ = m.counter("ntp.filter.suppressed");
+  samples_counter_ = m.counter(obs::metric_names::kNtpFilterSamples);
+  suppressed_counter_ = m.counter(obs::metric_names::kNtpFilterSuppressed);
 }
 
 void ClockFilter::reset() {

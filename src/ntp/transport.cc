@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metric_names.h"
+
 namespace mntp::ntp {
 
 namespace {
@@ -25,12 +27,12 @@ struct Exchange {
 QueryEngine::QueryEngine(sim::Simulation& sim, sim::DisciplinedClock& clock)
     : sim_(sim), clock_(clock) {
   obs::MetricsRegistry& m = sim_.telemetry().metrics();
-  sent_counter_ = m.counter("ntp.query.sent");
-  ok_counter_ = m.counter("ntp.query.ok");
-  timeout_counter_ = m.counter("ntp.query.timeout");
-  error_counter_ = m.counter("ntp.query.error");
-  rtt_ms_ =
-      m.histogram("ntp.query.rtt_ms", obs::HistogramOptions::latency_ms());
+  sent_counter_ = m.counter(obs::metric_names::kNtpQuerySent);
+  ok_counter_ = m.counter(obs::metric_names::kNtpQueryOk);
+  timeout_counter_ = m.counter(obs::metric_names::kNtpQueryTimeout);
+  error_counter_ = m.counter(obs::metric_names::kNtpQueryError);
+  rtt_ms_ = m.histogram(obs::metric_names::kNtpQueryRttMs,
+                        obs::HistogramOptions::latency_ms());
 }
 
 void QueryEngine::query(const ServerEndpoint& endpoint,
@@ -54,7 +56,8 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
     ++timeouts_;
     timeout_counter_->inc();
     if (sim_.telemetry().tracing()) {
-      sim_.telemetry().event(sim_.now(), "ntp", "query_timeout", {});
+      sim_.telemetry().event(sim_.now(), obs::categories::kNtp,
+                             "query_timeout", {});
     }
     ex->settle(core::Error::timeout("no NTP reply within timeout"));
   });

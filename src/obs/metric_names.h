@@ -1,0 +1,85 @@
+// Canonical metric, event-category and profiler-span name constants.
+//
+// A metric series is keyed by its name *string*: a typo at one call site
+// does not fail to compile, it silently creates a second series that
+// dashboards and the schema checker then miss. Every name shared between
+// an emitter and a consumer (report schema checks, bench_compare
+// tolerances, mntp-inspect tables, tests) therefore lives here, and call
+// sites reference the constant.
+//
+// Naming convention: `<layer>.<component>.<quantity>` for metrics
+// (layer prefixes sim./net./ntp./mntp./tuner. are what the CTest schema
+// check asserts per-layer coverage against); bare layer tokens for event
+// categories; `<layer>.<scope>` for profiler spans.
+#pragma once
+
+namespace mntp::obs {
+
+/// Trace-event categories (TraceEvent::category).
+namespace categories {
+inline constexpr const char kSim[] = "sim";
+inline constexpr const char kNet[] = "net";
+inline constexpr const char kNtp[] = "ntp";
+inline constexpr const char kMntp[] = "mntp";
+inline constexpr const char kTuner[] = "tuner";
+}  // namespace categories
+
+/// Metric (counter/gauge/histogram) names.
+namespace metric_names {
+// sim: event kernel
+inline constexpr const char kSimEventsDispatched[] = "sim.events_dispatched";
+inline constexpr const char kSimQueueDepth[] = "sim.queue_depth";
+
+// net: wireless last hop, cross traffic, cellular
+inline constexpr const char kNetWifiTx[] = "net.wifi.tx";
+inline constexpr const char kNetWifiDrop[] = "net.wifi.drop";
+inline constexpr const char kNetWifiDelayMs[] = "net.wifi.delay_ms";
+inline constexpr const char kNetWifiBadStateTransitions[] =
+    "net.wifi.bad_state_transitions";
+inline constexpr const char kNetXtrafficDownloads[] = "net.xtraffic.downloads";
+inline constexpr const char kNetXtrafficUtilization[] =
+    "net.xtraffic.utilization";
+inline constexpr const char kNetCellTx[] = "net.cell.tx";
+inline constexpr const char kNetCellDrop[] = "net.cell.drop";
+inline constexpr const char kNetCellDelayMs[] = "net.cell.delay_ms";
+inline constexpr const char kNetCellCongestionEpisodes[] =
+    "net.cell.congestion_episodes";
+
+// ntp: query engine and clock filter
+inline constexpr const char kNtpQuerySent[] = "ntp.query.sent";
+inline constexpr const char kNtpQueryOk[] = "ntp.query.ok";
+inline constexpr const char kNtpQueryTimeout[] = "ntp.query.timeout";
+inline constexpr const char kNtpQueryError[] = "ntp.query.error";
+inline constexpr const char kNtpQueryRttMs[] = "ntp.query.rtt_ms";
+inline constexpr const char kNtpFilterSamples[] = "ntp.filter.samples";
+inline constexpr const char kNtpFilterSuppressed[] = "ntp.filter.suppressed";
+
+// mntp: engine and client
+inline constexpr const char kMntpSample[] = "mntp.sample";
+inline constexpr const char kMntpRounds[] = "mntp.rounds";
+inline constexpr const char kMntpDeferrals[] = "mntp.deferrals";
+inline constexpr const char kMntpResets[] = "mntp.resets";
+inline constexpr const char kMntpClientRequests[] = "mntp.client.requests";
+inline constexpr const char kMntpClientForcedEmissions[] =
+    "mntp.client.forced_emissions";
+inline constexpr const char kMntpClientClockSteps[] =
+    "mntp.client.clock_steps";
+
+// tuner
+inline constexpr const char kTunerConfigsScored[] = "tuner.configs_scored";
+}  // namespace metric_names
+
+/// Profiler span names (obs/profiler.h). The sim.run/run_until names
+/// deliberately match the SpanTimer histogram prefixes so wall-time
+/// histograms and span profiles line up by name.
+namespace spans {
+inline constexpr const char kSimRun[] = "sim.run";
+inline constexpr const char kSimRunUntil[] = "sim.run_until";
+inline constexpr const char kEngineRound[] = "mntp.engine.round";
+inline constexpr const char kTunerSearch[] = "tuner.search";
+inline constexpr const char kTunerScoreConfig[] = "tuner.score_config";
+inline constexpr const char kLogsGenerate[] = "logs.generate";
+inline constexpr const char kLogsClassify[] = "logs.classify";
+}  // namespace spans
+
+}  // namespace mntp::obs

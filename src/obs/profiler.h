@@ -1,0 +1,194 @@
+// Hierarchical, thread-aware span profiler.
+//
+// Answers "where does a run spend its wall time?" — the question the
+// metrics registry's flat histograms cannot: spans nest (engine round
+// inside run_until inside a bench), and the profiler attributes to each
+// span both its *total* duration and its *self* time (total minus the
+// time spent in nested spans), per thread.
+//
+// Usage: wrap a scope in a RAII `ProfileScope`:
+//
+//     void Simulation::run_until(core::TimePoint deadline) {
+//       obs::ProfileScope span(obs::spans::kSimRunUntil, now_);
+//       ...
+//     }
+//
+// Span names must be string literals (static storage): the hot path
+// stores the pointer, never copies the string.
+//
+// The profiler hangs off the `Telemetry` context (obs/telemetry.h), so
+// `ScopedTelemetry` injection isolates profiles per run exactly like it
+// isolates metrics. Profiling is OFF by default; `ProfileScope` guards on
+// a cached atomic flag (the same discipline as `Telemetry::tracing()`),
+// so an instrumented hot path in a non-profiled run pays one function
+// call, one relaxed load and one branch — nothing else. Nothing ever
+// reads profiler state back into simulation logic, so enabling profiling
+// cannot change any simulated result.
+//
+// Two exporters:
+//   * `export_to_metrics` — per-span-name aggregates (count, total/self
+//     wall, min/p50/max) as `profile.span.*` gauges labelled
+//     {span=<name>}, which the run-report writer (obs/report.h) then
+//     serializes like any other metric;
+//   * `write_chrome_trace[_file]` — the full span list as a Chrome
+//     trace-event JSON object (open in chrome://tracing or Perfetto),
+//     one complete ("ph":"X") event per span with self time, nesting
+//     depth and the simulation timestamp in "args".
+//
+// Thread safety: spans may open and close concurrently on any thread
+// (each thread keeps its own span stack; completed spans serialize on
+// one mutex into the record buffer and aggregates). A span crossing a
+// `ScopedTelemetry` boundary records into the profiler that was current
+// at its *open*; nesting accounting (self time) spans such boundaries
+// transparently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+#include "core/time.h"
+#include "obs/metrics.h"
+
+namespace mntp::obs {
+
+class Profiler {
+ public:
+  /// One completed span. Wall times are nanoseconds on the host steady
+  /// clock, relative to the profiler's construction instant.
+  struct SpanRecord {
+    const char* name = "";     ///< static-storage span name
+    std::uint32_t tid = 0;     ///< small per-thread id (1-based)
+    std::uint32_t depth = 0;   ///< nesting depth at open (0 = root)
+    std::int64_t start_ns = 0;
+    std::int64_t dur_ns = 0;   ///< total wall duration
+    std::int64_t self_ns = 0;  ///< dur minus nested spans' durations
+    std::int64_t sim_t_ns = 0; ///< simulation timestamp, when supplied
+    bool has_sim = false;
+  };
+
+  /// Per-span-name aggregate over every recorded span (kept complete
+  /// even when the raw record buffer overflows).
+  struct SpanStats {
+    std::string name;
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t self_ns = 0;
+    std::int64_t min_ns = 0;
+    std::int64_t max_ns = 0;
+    double p50_ns = 0.0;  ///< streaming (P²) median of span durations
+  };
+
+  struct Options {
+    /// Raw-record buffer cap; spans past it still aggregate but are not
+    /// exported to the Chrome trace (counted in dropped()).
+    std::size_t max_records = 1 << 20;
+  };
+
+  Profiler() : Profiler(Options{}) {}
+  explicit Profiler(Options options);
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Master switch, off by default. Cached atomic — `ProfileScope` polls
+  /// it on every construction, from any thread, lock-free.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Append a completed span (normally called by ProfileScope, public
+  /// for tests and custom instrumentation).
+  void record(const SpanRecord& span);
+
+  /// Copy of the retained raw spans, in completion order.
+  [[nodiscard]] std::vector<SpanRecord> records() const;
+  /// Aggregates per span name, name-sorted.
+  [[nodiscard]] std::vector<SpanStats> stats() const;
+  /// Spans aggregated but not retained (record-buffer overflow).
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Total spans ever recorded (retained + dropped).
+  [[nodiscard]] std::uint64_t total_spans() const;
+
+  /// Drop all records and aggregates (the enabled flag is untouched).
+  void clear();
+
+  /// Publish the per-span aggregates into `registry` as `profile.span.*`
+  /// gauges labelled {span=<name>}, in microseconds. Idempotent: gauges
+  /// are set, not accumulated.
+  void export_to_metrics(MetricsRegistry& registry) const;
+
+  /// Nanoseconds on the host steady clock since this profiler was
+  /// constructed (the time base of every SpanRecord).
+  [[nodiscard]] std::int64_t now_ns() const;
+
+ private:
+  struct Aggregate {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t self_ns = 0;
+    std::int64_t min_ns = 0;
+    std::int64_t max_ns = 0;
+    P2Quantile p50{0.5};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::uint64_t dropped_ = 0;
+  std::map<std::string, Aggregate> aggregates_;
+};
+
+/// The profiler of the current `Telemetry::global()` context.
+[[nodiscard]] Profiler& current_profiler() noexcept;
+
+/// RAII span. Opens against the *current* profiler (captured at
+/// construction); when profiling is disabled the constructor returns
+/// after one flag check and the destructor is a single branch.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name)
+      : active_(current_profiler().enabled()) {
+    if (active_) open(name, false, core::TimePoint::epoch());
+  }
+  /// Span carrying the simulation timestamp of its occurrence (exported
+  /// into the Chrome trace args for sim/wall correlation).
+  ProfileScope(const char* name, core::TimePoint sim_t)
+      : active_(current_profiler().enabled()) {
+    if (active_) open(name, true, sim_t);
+  }
+  ~ProfileScope() {
+    if (active_) close();
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  static void open(const char* name, bool has_sim, core::TimePoint sim_t);
+  static void close();
+
+  bool active_;
+};
+
+/// Render the retained spans as a Chrome trace-event JSON object
+/// (chrome://tracing / Perfetto "JSON" format): {"traceEvents":[...]},
+/// one "ph":"X" complete event per span, ts/dur in microseconds.
+void write_chrome_trace(std::ostream& out, const Profiler& profiler,
+                        std::string_view run_name = "mntp");
+
+/// File variant; fails on unwritable paths.
+core::Status write_chrome_trace_file(const std::string& path,
+                                     const Profiler& profiler,
+                                     std::string_view run_name = "mntp");
+
+}  // namespace mntp::obs

@@ -48,6 +48,7 @@
 
 #include "core/time.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_event.h"
 
 namespace mntp::obs {
@@ -60,6 +61,12 @@ class Telemetry {
 
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Span profiler bound to this context (see obs/profiler.h). Off by
+  /// default; enable with profiler().set_enabled(true), read results via
+  /// profiler().stats() / export_to_metrics / write_chrome_trace.
+  [[nodiscard]] Profiler& profiler() { return profiler_; }
+  [[nodiscard]] const Profiler& profiler() const { return profiler_; }
 
   /// Attach a non-owning sink; the sink must outlive this context (or be
   /// removed first).
@@ -101,6 +108,7 @@ class Telemetry {
   static Telemetry*& global_slot();
 
   MetricsRegistry metrics_;
+  Profiler profiler_;
   std::mutex sink_mutex_;  // serializes emit/flush and sink attach/detach
   std::vector<TraceSink*> sinks_;
   std::atomic<bool> has_sinks_{false};

@@ -1,5 +1,8 @@
 #include "sim/simulation.h"
 
+#include "obs/metric_names.h"
+#include "obs/profiler.h"
+
 namespace mntp::sim {
 
 namespace {
@@ -14,16 +17,17 @@ obs::HistogramOptions queue_depth_buckets() {
 
 Simulation::Simulation()
     : telemetry_(&obs::Telemetry::global()),
-      dispatched_counter_(
-          telemetry_->metrics().counter("sim.events_dispatched")),
-      queue_depth_(telemetry_->metrics().histogram("sim.queue_depth",
-                                                   queue_depth_buckets())) {}
+      dispatched_counter_(telemetry_->metrics().counter(
+          obs::metric_names::kSimEventsDispatched)),
+      queue_depth_(telemetry_->metrics().histogram(
+          obs::metric_names::kSimQueueDepth, queue_depth_buckets())) {}
 
 void Simulation::set_telemetry(obs::Telemetry& telemetry) {
   telemetry_ = &telemetry;
-  dispatched_counter_ = telemetry_->metrics().counter("sim.events_dispatched");
-  queue_depth_ = telemetry_->metrics().histogram("sim.queue_depth",
-                                                 queue_depth_buckets());
+  dispatched_counter_ =
+      telemetry_->metrics().counter(obs::metric_names::kSimEventsDispatched);
+  queue_depth_ = telemetry_->metrics().histogram(
+      obs::metric_names::kSimQueueDepth, queue_depth_buckets());
 }
 
 void Simulation::dispatch_next() {
@@ -40,7 +44,8 @@ void Simulation::dispatch_next() {
 }
 
 void Simulation::run_until(core::TimePoint deadline) {
-  obs::SpanTimer span(*telemetry_, "sim.run_until", now_);
+  obs::ProfileScope profile(obs::spans::kSimRunUntil, now_);
+  obs::SpanTimer span(*telemetry_, obs::spans::kSimRunUntil, now_);
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     dispatch_next();
   }
@@ -49,7 +54,8 @@ void Simulation::run_until(core::TimePoint deadline) {
 }
 
 void Simulation::run() {
-  obs::SpanTimer span(*telemetry_, "sim.run", now_);
+  obs::ProfileScope profile(obs::spans::kSimRun, now_);
+  obs::SpanTimer span(*telemetry_, obs::spans::kSimRun, now_);
   while (!queue_.empty()) {
     dispatch_next();
   }

@@ -1,0 +1,361 @@
+// mntp-inspect: terminal summarizer for the observability artifacts the
+// bench harness writes — JSONL run reports (--telemetry-out, schema in
+// src/obs/report.h), Chrome trace-event span profiles (--profile-out)
+// and perf-suite baselines (BENCH_results.json).
+//
+//   mntp-inspect run.jsonl profile.json BENCH_results.json
+//
+// The file kind is detected from content, not extension. For run reports
+// the tool prints the metric registry as tables, per-category/per-name
+// event counts, the span-profile aggregates when present, and flags
+// offset anomalies: mntp `round` events whose offset falls more than
+// --sigma (default 4) standard deviations from the run's least-squares
+// offset trend — the quickest "did the filter see something wild" check
+// without replotting the whole series.
+//
+// Exit code: 0 on success (anomalies are informational), 1 when any
+// input cannot be read or parsed, 2 on usage errors.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/format.h"
+#include "core/json.h"
+#include "core/linreg.h"
+#include "core/stats.h"
+#include "core/table.h"
+
+using mntp::core::Json;
+
+namespace {
+
+struct Options {
+  double sigma = 4.0;        // anomaly threshold, in trend-residual sigmas
+  std::size_t max_rows = 20; // cap for anomaly listings
+};
+
+std::string format_labels(const Json& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels.as_object()) {
+    if (!out.empty()) out += ",";
+    out += key + "=" + value.as_string();
+  }
+  return out;
+}
+
+double field_number(const Json& fields, const char* key) {
+  return fields[key].as_double();
+}
+
+// ---------------------------------------------------------------- report
+
+struct SpanRow {
+  double count = 0, total_us = 0, self_us = 0, p50_us = 0, min_us = 0,
+         max_us = 0;
+};
+
+int inspect_report(const std::string& path,
+                   const std::vector<std::string>& lines, const Options& opt) {
+  std::vector<Json> metrics;
+  std::map<std::string, std::size_t> category_counts;
+  std::map<std::string, std::size_t> event_counts;  // "category/name"
+  std::map<std::string, SpanRow> spans;             // from profile.span.*
+  std::vector<double> round_t_s, round_offset_ms;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    auto parsed = Json::parse(lines[i]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), i + 1,
+                   parsed.error().message.c_str());
+      return 1;
+    }
+    const Json line = parsed.value();
+    const std::string& type = line["type"].as_string();
+    if (type == "meta") {
+      std::printf("run report: %s\n  run=%s  sim_end=%.1fs  %lld metrics, "
+                  "%lld events\n",
+                  path.c_str(), line["run"].as_string().c_str(),
+                  static_cast<double>(line["sim_end_ns"].as_int()) / 1e9,
+                  static_cast<long long>(line["metric_count"].as_int()),
+                  static_cast<long long>(line["event_count"].as_int()));
+    } else if (type == "metric") {
+      const std::string& name = line["name"].as_string();
+      if (name.rfind("profile.span.", 0) == 0) {
+        SpanRow& row = spans[line["labels"]["span"].as_string()];
+        const double v = line["value"].as_double();
+        const std::string field = name.substr(std::strlen("profile.span."));
+        if (field == "count") row.count = v;
+        else if (field == "total_wall_us") row.total_us = v;
+        else if (field == "self_wall_us") row.self_us = v;
+        else if (field == "p50_us") row.p50_us = v;
+        else if (field == "min_us") row.min_us = v;
+        else if (field == "max_us") row.max_us = v;
+      } else {
+        metrics.push_back(line);
+      }
+    } else if (type == "event") {
+      const std::string& category = line["category"].as_string();
+      const std::string& name = line["name"].as_string();
+      ++category_counts[category];
+      ++event_counts[category + "/" + name];
+      if (category == "mntp" && name == "round") {
+        round_t_s.push_back(static_cast<double>(line["t_ns"].as_int()) / 1e9);
+        round_offset_ms.push_back(field_number(line["fields"], "offset_ms"));
+      }
+    }
+  }
+
+  // Metric tables: scalar metrics (counters/gauges) then histograms.
+  mntp::core::TextTable scalars({"metric", "labels", "kind", "value"});
+  mntp::core::TextTable histograms(
+      {"histogram", "labels", "count", "p50", "p90", "p99", "max"});
+  for (const Json& m : metrics) {
+    const std::string& kind = m["kind"].as_string();
+    if (kind == "histogram") {
+      histograms.add_row({m["name"].as_string(), format_labels(m["labels"]),
+                          mntp::core::strformat("%lld", static_cast<long long>(
+                                                            m["count"].as_int())),
+                          mntp::core::fmt_double(m["p50"].as_double()),
+                          mntp::core::fmt_double(m["p90"].as_double()),
+                          mntp::core::fmt_double(m["p99"].as_double()),
+                          mntp::core::fmt_double(m["max"].as_double())});
+    } else {
+      scalars.add_row({m["name"].as_string(), format_labels(m["labels"]), kind,
+                       mntp::core::fmt_double(m["value"].as_double())});
+    }
+  }
+  if (scalars.rows() > 0) {
+    std::printf("\n%s\n", scalars.render().c_str());
+  }
+  if (histograms.rows() > 0) {
+    std::printf("%s\n", histograms.render().c_str());
+  }
+
+  if (!spans.empty()) {
+    mntp::core::TextTable table({"span", "count", "total_ms", "self_ms",
+                                 "p50_us", "max_us"});
+    for (const auto& [name, row] : spans) {
+      table.add_row({name, mntp::core::strformat("%.0f", row.count),
+                     mntp::core::fmt_double(row.total_us / 1e3),
+                     mntp::core::fmt_double(row.self_us / 1e3),
+                     mntp::core::fmt_double(row.p50_us),
+                     mntp::core::fmt_double(row.max_us)});
+    }
+    std::printf("span profile (from profile.span.* gauges):\n%s\n",
+                table.render().c_str());
+  }
+
+  if (!event_counts.empty()) {
+    mntp::core::TextTable table({"event", "count"});
+    for (const auto& [key, n] : event_counts) {
+      table.add_row({key, mntp::core::fmt_count(n)});
+    }
+    std::printf("events by category/name (%zu categories):\n%s\n",
+                category_counts.size(), table.render().c_str());
+  }
+
+  // Offset anomalies: residuals against the run's offset trend. The
+  // trend (not the raw mean) is the right null model because an
+  // uncorrected drifting clock makes offsets a line, not a constant.
+  if (round_t_s.size() >= 8) {
+    const auto fit = mntp::core::least_squares(round_t_s, round_offset_ms);
+    if (fit) {
+      std::vector<double> residuals(round_t_s.size());
+      for (std::size_t i = 0; i < round_t_s.size(); ++i) {
+        residuals[i] = fit->residual(round_t_s[i], round_offset_ms[i]);
+      }
+      const double sd = mntp::core::summarize(residuals).stddev;
+      std::size_t flagged = 0, shown = 0;
+      for (std::size_t i = 0; i < residuals.size(); ++i) {
+        if (sd <= 0.0 || std::fabs(residuals[i]) <= opt.sigma * sd) continue;
+        if (flagged == 0) {
+          std::printf("offset anomalies (|residual| > %.1f sigma, "
+                      "sigma=%.3f ms, trend %.4f ms/s):\n",
+                      opt.sigma, sd, fit->slope);
+        }
+        ++flagged;
+        if (shown < opt.max_rows) {
+          ++shown;
+          std::printf("  t=%9.1fs  offset %+9.2f ms  residual %+9.2f ms "
+                      "(%.1f sigma)\n",
+                      round_t_s[i], round_offset_ms[i], residuals[i],
+                      std::fabs(residuals[i]) / sd);
+        }
+      }
+      if (flagged > shown) {
+        std::printf("  ... %zu more\n", flagged - shown);
+      }
+      if (flagged == 0) {
+        std::printf("offset anomalies: none (%zu rounds within %.1f sigma "
+                    "of trend)\n",
+                    round_t_s.size(), opt.sigma);
+      }
+    }
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- profile
+
+int inspect_profile(const std::string& path, const Json& doc) {
+  const Json& events = doc["traceEvents"];
+  std::string run_name;
+  struct Agg {
+    std::size_t count = 0;
+    double total_us = 0, self_us = 0, min_us = 0, max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::map<std::int64_t, std::size_t> by_tid;
+  for (const Json& e : events.as_array()) {
+    const std::string& ph = e["ph"].as_string();
+    if (ph == "M") {
+      if (e["name"].as_string() == "process_name") {
+        run_name = e["args"]["name"].as_string();
+      }
+      continue;
+    }
+    if (ph != "X") continue;
+    const double dur = e["dur"].as_double();
+    Agg& agg = by_name[e["name"].as_string()];
+    if (agg.count == 0) agg.min_us = agg.max_us = dur;
+    agg.min_us = std::min(agg.min_us, dur);
+    agg.max_us = std::max(agg.max_us, dur);
+    ++agg.count;
+    agg.total_us += dur;
+    agg.self_us += e["args"]["self_us"].as_double();
+    ++by_tid[e["tid"].as_int()];
+  }
+  std::printf("span profile: %s\n  run=%s  %zu span names, %zu threads\n",
+              path.c_str(), run_name.c_str(), by_name.size(), by_tid.size());
+  // Hottest first — total wall time is the question a profile answers.
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  mntp::core::TextTable table({"span", "count", "total_ms", "self_ms",
+                               "mean_us", "min_us", "max_us"});
+  for (const auto& [name, agg] : rows) {
+    table.add_row({name, mntp::core::fmt_count(agg.count),
+                   mntp::core::fmt_double(agg.total_us / 1e3),
+                   mntp::core::fmt_double(agg.self_us / 1e3),
+                   mntp::core::fmt_double(agg.total_us /
+                                          static_cast<double>(agg.count)),
+                   mntp::core::fmt_double(agg.min_us),
+                   mntp::core::fmt_double(agg.max_us)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}
+
+// ----------------------------------------------------------------- bench
+
+int inspect_bench(const std::string& path, const Json& doc) {
+  const Json& env = doc["environment"];
+  std::printf("perf-suite results: %s\n  reps=%lld warmup=%lld  compiler=%s "
+              "build=%s threads=%lld\n",
+              path.c_str(), static_cast<long long>(doc["reps"].as_int()),
+              static_cast<long long>(doc["warmup"].as_int()),
+              env["compiler"].as_string().c_str(),
+              env["build_type"].as_string().c_str(),
+              static_cast<long long>(env["hardware_threads"].as_int()));
+  mntp::core::TextTable table(
+      {"workload", "median_us", "mad_us", "p95_us", "min_us", "max_us"});
+  for (const Json& w : doc["workloads"].as_array()) {
+    table.add_row({w["name"].as_string(),
+                   mntp::core::fmt_double(w["median_us"].as_double(), 1),
+                   mntp::core::fmt_double(w["mad_us"].as_double(), 1),
+                   mntp::core::fmt_double(w["p95_us"].as_double(), 1),
+                   mntp::core::fmt_double(w["min_us"].as_double(), 1),
+                   mntp::core::fmt_double(w["max_us"].as_double(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}
+
+// -------------------------------------------------------------- dispatch
+
+int inspect_file(const std::string& path, const Options& opt) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mntp-inspect: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // Whole-file JSON first (profile / bench results); on failure fall back
+  // to JSONL (run report), whose second line makes whole-file parse fail.
+  if (auto doc = Json::parse(content); doc.ok()) {
+    const Json& json = doc.value();
+    if (json.has("traceEvents")) return inspect_profile(path, json);
+    if (json["kind"].as_string() == "mntp_perf_suite") {
+      return inspect_bench(path, json);
+    }
+    std::fprintf(stderr, "mntp-inspect: %s: unrecognized JSON document\n",
+                 path.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream stream(content);
+  while (std::getline(stream, line)) lines.push_back(line);
+  if (!lines.empty()) {
+    if (auto first = Json::parse(lines.front());
+        first.ok() && first.value()["type"].as_string() == "meta") {
+      return inspect_report(path, lines, opt);
+    }
+  }
+  std::fprintf(stderr,
+               "mntp-inspect: %s: not a run report, span profile or "
+               "perf-suite result\n",
+               path.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sigma" && i + 1 < argc) {
+      opt.sigma = std::atof(argv[++i]);
+    } else if (arg.rfind("--sigma=", 0) == 0) {
+      opt.sigma = std::atof(arg.c_str() + std::strlen("--sigma="));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mntp-inspect [--sigma N] <file>...\n"
+                  "  summarizes JSONL run reports, Chrome span profiles and\n"
+                  "  BENCH_results.json files (kind detected from content)\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mntp-inspect: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: mntp-inspect [--sigma N] <file>...\n");
+    return 2;
+  }
+  if (opt.sigma <= 0.0) {
+    std::fprintf(stderr, "mntp-inspect: --sigma must be > 0\n");
+    return 2;
+  }
+  int status = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (i != 0) std::printf("\n");
+    status = std::max(status, inspect_file(paths[i], opt));
+  }
+  return status;
+}
