@@ -199,9 +199,11 @@ BenchTelemetry::BenchTelemetry(std::string run_name, int argc, char** argv)
     : run_name_(std::move(run_name)),
       out_path_(parse_flag(argc, argv, "--telemetry-out")),
       profile_path_(parse_flag(argc, argv, "--profile-out")),
+      query_trace_path_(parse_flag(argc, argv, "--query-trace-out")),
       scope_(telemetry_) {
   if (enabled()) telemetry_.add_sink(&trace_);
   if (profiling()) telemetry_.profiler().set_enabled(true);
+  if (query_tracing()) telemetry_.query_tracer().set_enabled(true);
 }
 
 bool BenchTelemetry::finalize(core::TimePoint sim_end) {
@@ -239,6 +241,19 @@ bool BenchTelemetry::finalize(core::TimePoint sim_end) {
                       telemetry_.profiler().total_spans()),
                   static_cast<unsigned long long>(
                       telemetry_.profiler().dropped()));
+    }
+  }
+  if (query_tracing()) {
+    const obs::QueryTracer& qt = telemetry_.query_tracer();
+    if (!qt.write_jsonl_file(query_trace_path_, run_name_, sim_end)) {
+      std::fprintf(stderr, "query trace failed: %s\n",
+                   query_trace_path_.c_str());
+      ok = false;
+    } else {
+      std::printf("query trace: %s (%llu queries, %llu dropped)\n",
+                  query_trace_path_.c_str(),
+                  static_cast<unsigned long long>(qt.minted()),
+                  static_cast<unsigned long long>(qt.dropped()));
     }
   }
   return ok;

@@ -132,8 +132,11 @@ std::size_t parse_size_flag(int argc, char** argv, const char* flag,
 /// when present, the run's span profiler is enabled and finalize()
 /// exports span aggregates into the metrics registry (so they land in
 /// the run report too) and writes the Chrome trace-event JSON there.
-/// Without either flag the run pays only counter increments and
-/// finalize() is a no-op.
+/// Also parses `--query-trace-out <path>`: when present, the run's
+/// query tracer is enabled and finalize() writes the per-query causal
+/// trace JSONL there (schema in src/obs/query_trace.h; inspect with
+/// `mntp-inspect explain`). Without any flag the run pays only counter
+/// increments and finalize() is a no-op.
 class BenchTelemetry {
  public:
   BenchTelemetry(std::string run_name, int argc, char** argv);
@@ -142,20 +145,28 @@ class BenchTelemetry {
   [[nodiscard]] bool enabled() const { return !out_path_.empty(); }
   /// True when --profile-out was passed (span profiling active).
   [[nodiscard]] bool profiling() const { return !profile_path_.empty(); }
+  /// True when --query-trace-out was passed (query tracing active).
+  [[nodiscard]] bool query_tracing() const {
+    return !query_trace_path_.empty();
+  }
   [[nodiscard]] const std::string& out_path() const { return out_path_; }
   [[nodiscard]] const std::string& profile_path() const {
     return profile_path_;
   }
+  [[nodiscard]] const std::string& query_trace_path() const {
+    return query_trace_path_;
+  }
   [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
 
-  /// Write the report and/or Chrome trace (no-op without the flags).
-  /// Returns false and prints to stderr on I/O failure.
+  /// Write the report / Chrome trace / query trace (no-op without the
+  /// flags). Returns false and prints to stderr on I/O failure.
   bool finalize(core::TimePoint sim_end);
 
  private:
   std::string run_name_;
   std::string out_path_;
   std::string profile_path_;
+  std::string query_trace_path_;
   obs::Telemetry telemetry_;
   obs::RingBufferSink trace_;
   obs::ScopedTelemetry scope_;

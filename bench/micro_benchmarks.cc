@@ -186,6 +186,39 @@ void BM_ProfileScopeDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileScopeDisabled);
 
+void BM_QueryTraceDisabled(benchmark::State& state) {
+  // The bare cost a disabled-tracer decision point adds: one
+  // thread_local read and a null-tracer branch (the ambient pattern of
+  // obs/query_trace.h). This is what every instrumented decision site
+  // (drift_filter, false_ticker, clock_filter, channels) pays on
+  // untraced runs; the ≤1% bench budget rests on it staying trivial.
+  for (auto _ : state) {
+    auto q = obs::ambient_query();
+    benchmark::DoNotOptimize(q.tracer);
+  }
+}
+BENCHMARK(BM_QueryTraceDisabled);
+
+void BM_EngineRoundQueryTraceEnabled(benchmark::State& state) {
+  // Engine hot path with the flight recorder fully on (engine owns the
+  // round trace: mint + decision stages + verdict per on_round call).
+  obs::Telemetry telemetry;
+  telemetry.query_tracer().set_enabled(true);
+  obs::ScopedTelemetry scope(telemetry);
+  protocol::MntpEngine engine(protocol::head_to_head_params(),
+                              core::TimePoint::epoch());
+  core::Rng rng(6);
+  std::int64_t t = 0;
+  std::vector<double> offsets(1);
+  for (auto _ : state) {
+    t += 5'000'000'000;
+    offsets[0] = rng.normal(0, 0.003);
+    auto r = engine.on_round(core::TimePoint::from_ns(t), offsets);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EngineRoundQueryTraceEnabled);
+
 void BM_EngineRoundTracedNullSink(benchmark::State& state) {
   obs::Telemetry telemetry;
   obs::NullSink sink;

@@ -28,6 +28,7 @@
 
 #include "common.h"
 #include "core/format.h"
+#include "core/json_writer.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/table.h"
@@ -206,36 +207,46 @@ bool write_results(const std::string& path, std::size_t reps,
                    const std::vector<WorkloadResult>& results) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  char buf[64];
-  const auto num = [&buf](double v) {
-    std::snprintf(buf, sizeof buf, "%.3f", v);
-    return std::string(buf);
-  };
-  out << "{\n  \"schema_version\": 1,\n  \"kind\": \"mntp_perf_suite\",\n";
-  out << "  \"reps\": " << reps << ",\n  \"warmup\": " << warmup << ",\n";
-  out << "  \"environment\": {\n    \"compiler\": \""
-      << obs::json_escape(__VERSION__) << "\",\n    \"build_type\": \""
-      << obs::json_escape(MNTP_BUILD_TYPE) << "\",\n    \"build_flags\": \""
-      << obs::json_escape(MNTP_BUILD_FLAGS)
-      << "\",\n    \"hardware_threads\": "
-      << std::thread::hardware_concurrency() << "\n  },\n";
-  out << "  \"workloads\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
-    out << "    {\"name\": \"" << obs::json_escape(r.name)
-        << "\", \"unit\": \"us\", \"median_us\": " << num(r.median_us)
-        << ", \"mad_us\": " << num(r.mad_us)
-        << ", \"p95_us\": " << num(r.p95_us)
-        << ", \"min_us\": " << num(r.min_us)
-        << ", \"max_us\": " << num(r.max_us)
-        << ", \"mean_us\": " << num(r.mean_us) << ", \"samples_us\": [";
-    for (std::size_t j = 0; j < r.samples_us.size(); ++j) {
-      if (j != 0) out << ", ";
-      out << num(r.samples_us[j]);
-    }
-    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+  std::string text;
+  core::JsonWriter w(text, /*indent=*/2);
+  w.begin_object()
+      .kv("schema_version", std::int64_t{1})
+      .kv("kind", "mntp_perf_suite")
+      .kv("reps", static_cast<std::int64_t>(reps))
+      .kv("warmup", static_cast<std::int64_t>(warmup))
+      .key("environment")
+      .begin_object()
+      .kv("compiler", __VERSION__)
+      .kv("build_type", MNTP_BUILD_TYPE)
+      .kv("build_flags", MNTP_BUILD_FLAGS)
+      .kv("hardware_threads",
+          static_cast<std::int64_t>(std::thread::hardware_concurrency()))
+      .end_object()
+      .key("workloads")
+      .begin_array();
+  for (const WorkloadResult& r : results) {
+    w.begin_object()
+        .kv("name", r.name)
+        .kv("unit", "us")
+        .key("median_us")
+        .value_fixed(r.median_us, 3)
+        .key("mad_us")
+        .value_fixed(r.mad_us, 3)
+        .key("p95_us")
+        .value_fixed(r.p95_us, 3)
+        .key("min_us")
+        .value_fixed(r.min_us, 3)
+        .key("max_us")
+        .value_fixed(r.max_us, 3)
+        .key("mean_us")
+        .value_fixed(r.mean_us, 3)
+        .key("samples_us")
+        .begin_array();
+    for (const double s : r.samples_us) w.value_fixed(s, 3);
+    w.end_array().end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array().end_object();
+  out << text << "\n";
   return static_cast<bool>(out.flush());
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate MNTP observability artifacts.
 
-Three artifact kinds, detected from content (or forced with --kind):
+Four artifact kinds, detected from content (or forced with --kind):
 
   * `report` — JSONL telemetry run report (schema v1, src/obs/report.h):
     line 1 is a `meta` object with schema_version 1 and run/sim_end_ns/
@@ -19,20 +19,30 @@ Three artifact kinds, detected from content (or forced with --kind):
     schema_version 1, kind mntp_perf_suite, an environment block, and
     per-workload robust summaries whose sample counts match `reps` and
     whose order statistics are consistent (min<=median<=p95<=max).
+  * `query-trace` — JSONL causal query trace written by --query-trace-out
+    (schema v1, src/obs/query_trace.h): line 1 is a `meta` object with
+    kind mntp_query_trace; every following line is a `query` object with
+    a strictly increasing positive id, a kind, a start_ns, and a stages
+    array whose entries carry integer sim timestamps (non-decreasing per
+    query, none before start_ns), a non-empty stage name, a reason drawn
+    from the closed enum of src/obs/reason_codes.h, and a flat fields
+    object; at most one `verdict` stage exists per query and it must be
+    the last; the meta query_count matches the query-line count.
 
 Usage:
-  check_telemetry_schema.py ARTIFACT [--kind report|profile|bench]
-      [--require-prefixes a.,b.]
+  check_telemetry_schema.py ARTIFACT
+      [--kind report|profile|bench|query-trace] [--require-prefixes a.,b.]
   check_telemetry_schema.py --generate BENCH_BINARY --out report.jsonl \
-      [--kind report|profile] [--require-prefixes a.,b.]
+      [--kind report|profile|query-trace] [--require-prefixes a.,b.]
 
 With --generate the script first runs `BENCH_BINARY --telemetry-out OUT`
-(or `--profile-out OUT` when --kind profile) — the binary's own exit
-code is ignored: shape checks may evolve independently of the telemetry
-schema — and then validates OUT. --require-prefixes (report kind only)
-additionally demands at least one metric per listed name prefix, which
-is how the CTest wiring asserts that every layer of the stack (sim.,
-net., ntp., mntp.) actually reported.
+(`--profile-out OUT` when --kind profile, `--query-trace-out OUT` when
+--kind query-trace) — the binary's own exit code is ignored: shape
+checks may evolve independently of the telemetry schema — and then
+validates OUT. --require-prefixes (report kind only) additionally
+demands at least one metric per listed name prefix, which is how the
+CTest wiring asserts that every layer of the stack (sim., net., ntp.,
+mntp.) actually reported.
 """
 
 import argparse
@@ -314,17 +324,147 @@ def validate_bench(path):
           f"{doc['reps']} reps")
 
 
+# The closed reason vocabulary of src/obs/reason_codes.h (kAllReasons);
+# an emitter inventing a reason outside it is a schema break, because
+# downstream causation tables bucket by exact string.
+QUERY_TRACE_REASONS = {
+    "none", "ok", "channel_defer", "forced_emission", "loss", "timeout",
+    "server_error", "validation_error", "popcorn_suppressed",
+    "false_ticker", "trend_outlier", "accepted_warmup", "accepted_regular",
+    "no_samples", "no_survivors",
+}
+
+
+def check_query_trace_meta(obj, lineno):
+    for key in ("schema_version", "kind", "run", "sim_end_ns", "query_count",
+                "dropped", "dropped_stages"):
+        if key not in obj:
+            fail(lineno, f"meta missing '{key}'")
+    if obj["schema_version"] != 1:
+        fail(lineno, f"unsupported schema_version {obj['schema_version']}")
+    if obj["kind"] != "mntp_query_trace":
+        fail(lineno, f"meta kind must be 'mntp_query_trace', got "
+                     f"{obj['kind']!r}")
+    if not isinstance(obj["run"], str) or not obj["run"]:
+        fail(lineno, "meta 'run' must be a non-empty string")
+    for key in ("sim_end_ns", "query_count", "dropped", "dropped_stages"):
+        if not isinstance(obj[key], int) or obj[key] < 0:
+            fail(lineno, f"meta '{key}' must be a non-negative integer")
+
+
+def check_query_stage(stage, qid, i, lineno):
+    def sfail(msg):
+        fail(lineno, f"query {qid} stages[{i}]: {msg}")
+    if not isinstance(stage, dict):
+        sfail("not an object")
+    for key in ("t_ns", "stage", "reason", "fields"):
+        if key not in stage:
+            sfail(f"missing '{key}'")
+    if not isinstance(stage["t_ns"], int):
+        sfail("'t_ns' must be an integer")
+    if not isinstance(stage["stage"], str) or not stage["stage"]:
+        sfail("'stage' must be a non-empty string")
+    if stage["reason"] not in QUERY_TRACE_REASONS:
+        sfail(f"unknown reason {stage['reason']!r}")
+    fields = stage["fields"]
+    if not isinstance(fields, dict):
+        sfail("'fields' must be an object")
+    for k, v in fields.items():
+        if not isinstance(k, str) or not k:
+            sfail("field keys must be non-empty strings")
+        if not (isinstance(v, str) or isinstance(v, bool) or is_number(v)):
+            sfail(f"field {k!r} must be a string, bool or number")
+
+
+def validate_query_trace(path):
+    meta = None
+    queries = 0
+    last_id = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                fail(lineno, "blank line")
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"invalid JSON: {e}")
+            kind = obj.get("type")
+            if lineno == 1:
+                if kind != "meta":
+                    fail(lineno, "first line must be the meta object")
+                check_query_trace_meta(obj, lineno)
+                meta = obj
+                continue
+            if kind == "meta":
+                fail(lineno, "duplicate meta line")
+            if kind != "query":
+                fail(lineno, f"unknown line type '{kind}'")
+            for key in ("id", "parent", "kind", "start_ns", "stages"):
+                if key not in obj:
+                    fail(lineno, f"query missing '{key}'")
+            qid = obj["id"]
+            if not isinstance(qid, int) or qid <= 0:
+                fail(lineno, "query 'id' must be a positive integer")
+            if qid <= last_id:
+                fail(lineno, f"query ids must be strictly increasing "
+                             f"({qid} after {last_id})")
+            last_id = qid
+            if not isinstance(obj["parent"], int) or obj["parent"] < 0:
+                fail(lineno, "query 'parent' must be a non-negative integer")
+            if not isinstance(obj["kind"], str) or not obj["kind"]:
+                fail(lineno, "query 'kind' must be a non-empty string")
+            if not isinstance(obj["start_ns"], int) or obj["start_ns"] < 0:
+                fail(lineno, "query 'start_ns' must be a non-negative "
+                             "integer")
+            stages = obj["stages"]
+            if not isinstance(stages, list):
+                fail(lineno, "query 'stages' must be an array")
+            last_t = obj["start_ns"]
+            for i, stage in enumerate(stages):
+                check_query_stage(stage, qid, i, lineno)
+                if stage["t_ns"] < last_t:
+                    fail(lineno, f"query {qid} stages[{i}]: t_ns "
+                                 f"{stage['t_ns']} precedes {last_t}")
+                last_t = stage["t_ns"]
+                if stage["stage"] == "verdict" and i != len(stages) - 1:
+                    fail(lineno, f"query {qid}: 'verdict' stage must be "
+                                 "last")
+            queries += 1
+
+    if meta is None:
+        raise SystemExit("SCHEMA ERROR: empty query trace")
+    if meta["query_count"] != queries:
+        raise SystemExit(
+            f"SCHEMA ERROR: meta query_count {meta['query_count']} != "
+            f"{queries} query lines")
+    print(f"OK: {path} — query trace with {queries} queries, "
+          f"run '{meta['run']}'")
+
+
 def detect_kind(path):
     """Whole-file JSON => profile/bench; otherwise JSONL run report."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (json.JSONDecodeError, UnicodeDecodeError):
+        # JSONL: the first line's meta kind separates the two.
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                first = json.loads(f.readline())
+            if isinstance(first, dict) and \
+                    first.get("kind") == "mntp_query_trace":
+                return "query-trace"
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            pass
         return "report"
     if isinstance(doc, dict) and "traceEvents" in doc:
         return "profile"
     if isinstance(doc, dict) and doc.get("kind") == "mntp_perf_suite":
         return "bench"
+    # A zero-query trace is a single meta line, i.e. valid whole-file JSON.
+    if isinstance(doc, dict) and doc.get("kind") == "mntp_query_trace":
+        return "query-trace"
     raise SystemExit(f"SCHEMA ERROR: {path}: unrecognized artifact "
                      "(pass --kind to force)")
 
@@ -332,7 +472,8 @@ def detect_kind(path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("artifact", nargs="?", help="artifact to validate")
-    parser.add_argument("--kind", choices=("report", "profile", "bench"),
+    parser.add_argument("--kind",
+                        choices=("report", "profile", "bench", "query-trace"),
                         help="artifact kind; detected from content if omitted")
     parser.add_argument("--generate", metavar="BINARY",
                         help="bench binary to run with --telemetry-out "
@@ -347,7 +488,9 @@ def main():
         if not args.out:
             parser.error("--generate requires --out")
         path = args.out
-        flag = "--profile-out" if args.kind == "profile" else "--telemetry-out"
+        flag = {"profile": "--profile-out",
+                "query-trace": "--query-trace-out"}.get(args.kind,
+                                                        "--telemetry-out")
         # The bench's own PASS/FAIL shape checks are not under test here;
         # only the telemetry output is.
         subprocess.run([args.generate, flag, path],
@@ -362,6 +505,8 @@ def main():
         validate_profile(path)
     elif kind == "bench":
         validate_bench(path)
+    elif kind == "query-trace":
+        validate_query_trace(path)
     else:
         prefixes = [p for p in args.require_prefixes.split(",") if p]
         validate(path, prefixes)

@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/query_trace.h"
+
 namespace mntp::protocol {
+
+namespace {
+
+/// Trace this offer's verdict against the ambient query, if any. The
+/// threshold is reported in the offset domain (sqrt of the squared-
+/// residual gate) so it reads in the same unit as the residual.
+void trace_decision(core::TimePoint t, bool accepted, bool bootstrap,
+                    double residual_s, double gate_sq) {
+  auto q = mntp::obs::ambient_query();
+  if (!q.tracer) return;
+  q.tracer->stage(
+      q.id, t, "drift_filter",
+      accepted ? mntp::obs::Reason::kOk : mntp::obs::Reason::kTrendOutlier,
+      {{"residual_ms", residual_s * 1e3},
+       {"threshold_ms", gate_sq > 0.0 ? std::sqrt(gate_sq) * 1e3 : 0.0},
+       {"bootstrap", bootstrap}});
+}
+
+}  // namespace
 
 DriftFilter::DriftFilter(DriftFilterConfig config) : config_(config) {
   if (config_.bootstrap_samples < 2) config_.bootstrap_samples = 2;
@@ -46,6 +67,8 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
       // before they poison the trend the regular gate judges against.
       prune_and_refit();
     }
+    trace_decision(t, /*accepted=*/true, /*bootstrap=*/true, d.residual_s,
+                   0.0);
     return d;
   }
 
@@ -82,8 +105,12 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
     if (err_sq > gate) {
       ++rejected_;
       d.accepted = false;
+      trace_decision(t, /*accepted=*/false, /*bootstrap=*/false,
+                     d.residual_s, gate);
       return d;
     }
+    trace_decision(t, /*accepted=*/true, /*bootstrap=*/false, d.residual_s,
+                   gate);
   }
 
   d.accepted = true;

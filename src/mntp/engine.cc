@@ -34,6 +34,20 @@ const char* to_string(Phase phase) {
   return phase == Phase::kWarmup ? "warmup" : "regular";
 }
 
+obs::Reason to_reason(SampleOutcome outcome) {
+  switch (outcome) {
+    case SampleOutcome::kAcceptedWarmup:
+      return obs::Reason::kAcceptedWarmup;
+    case SampleOutcome::kAcceptedRegular:
+      return obs::Reason::kAcceptedRegular;
+    case SampleOutcome::kRejectedFalseTicker:
+      return obs::Reason::kFalseTicker;
+    case SampleOutcome::kRejectedFilter:
+      return obs::Reason::kTrendOutlier;
+  }
+  return obs::Reason::kNone;
+}
+
 MntpEngine::MntpEngine(MntpParams params, core::TimePoint start)
     : telemetry_(&obs::Telemetry::global()),
       params_(params),
@@ -63,6 +77,17 @@ void MntpEngine::note_deferral(core::TimePoint t) {
   if (telemetry_->tracing()) {
     telemetry_->event(t, obs::categories::kMntp, "deferral",
                       {{"phase", std::string(to_string(phase_))}});
+  }
+  // Drivers that own a round trace (MntpClient) record the gate detail
+  // and the verdict themselves — they install the round as ambient
+  // before calling us. With no ambient (tuner emulate, direct engine
+  // drivers), mint a one-stage round so deferral causes still land in
+  // the per-query store and the causation table stays complete.
+  obs::QueryTracer& qt = telemetry_->query_tracer();
+  if (qt.enabled() && obs::ambient_query().id == 0) {
+    const obs::QueryId id = qt.begin(t, "round");
+    qt.finish(id, t, obs::Reason::kChannelDefer,
+              {{"phase", std::string(to_string(phase_))}});
   }
 }
 
@@ -125,16 +150,32 @@ MntpEngine::RoundResult MntpEngine::on_round(
   rounds_counter_->inc();
   RoundResult rr;
 
+  // Query-trace ownership: a driver that minted a round trace (the
+  // MntpClient) installs it as ambient and emits the verdict itself;
+  // with no ambient and tracing on (tuner emulate, direct engine
+  // drivers) mint our own round here so the vote/filter decision stages
+  // still attach to a query and every round gets a verdict.
+  obs::QueryTracer& qt = telemetry_->query_tracer();
+  obs::QueryId round_id = obs::ambient_query().id;
+  const bool owned = round_id == 0 && qt.enabled();
+  if (owned) round_id = qt.begin(t, "round");
+  std::optional<obs::ActiveQueryScope> trace_scope;
+  if (owned) trace_scope.emplace(qt, round_id);
+
   // Reset period elapsed: goto Step 1 (Algorithm 1 steps 23-24).
   if (t - cycle_start_ >= params_.reset_period) {
     restart(t);
     rr.reset_occurred = true;
+    if (round_id != 0) qt.stage(round_id, t, "reset", obs::Reason::kNone);
   }
 
+  // The phase the sample is judged under; the warm-up completion check
+  // below can advance phase_ before the verdict is emitted.
+  const Phase decision_phase = phase_;
   if (!offsets_s.empty()) {
     // Multi-source false-ticker vote (warm-up; a single source passes
     // through untouched).
-    const auto survivors = reject_false_tickers(offsets_s);
+    const auto survivors = reject_false_tickers(offsets_s, t);
     const bool any_rejected = survivors.size() != offsets_s.size();
     const double measured = combine_surviving_offsets(offsets_s, survivors);
     // Uncorrected domain: add back the corrections the driver applied so
@@ -189,6 +230,18 @@ MntpEngine::RoundResult MntpEngine::on_round(
           t, obs::categories::kMntp, "phase_transition",
           {{"from", std::string("warmup")}, {"to", std::string("regular")}});
     }
+    if (round_id != 0) {
+      qt.stage(round_id, t, "phase_transition", obs::Reason::kNone);
+    }
+  }
+  if (owned) {
+    qt.finish(round_id, t,
+              offsets_s.empty() ? obs::Reason::kNoSamples
+                                : to_reason(rr.outcome),
+              {{"phase", std::string(to_string(decision_phase))},
+               {"offset_ms", rr.offset_s * 1e3},
+               {"residual_ms", rr.corrected_s * 1e3},
+               {"sources", static_cast<std::int64_t>(offsets_s.size())}});
   }
   return rr;
 }

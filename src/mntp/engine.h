@@ -40,6 +40,12 @@ enum class SampleOutcome {
 [[nodiscard]] const char* to_string(SampleOutcome outcome);
 [[nodiscard]] const char* to_string(Phase phase);
 
+/// The query-trace verdict reason corresponding to a round outcome
+/// (obs/reason_codes.h). The mapping is 1:1 so the causation table in
+/// `mntp-inspect explain` reconciles exactly against the mntp.sample
+/// outcome counters.
+[[nodiscard]] obs::Reason to_reason(SampleOutcome outcome);
+
 struct OffsetRecord {
   core::TimePoint t;
   double offset_s = 0.0;     ///< combined measured offset

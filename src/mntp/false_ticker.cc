@@ -2,10 +2,14 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/query_trace.h"
 
 namespace mntp::protocol {
 
-std::vector<std::size_t> reject_false_tickers(std::span<const double> offsets_s) {
+std::vector<std::size_t> reject_false_tickers(std::span<const double> offsets_s,
+                                              core::TimePoint now) {
   std::vector<std::size_t> survivors;
   const std::size_t n = offsets_s.size();
   survivors.reserve(n);
@@ -25,8 +29,30 @@ std::vector<std::size_t> reject_false_tickers(std::span<const double> offsets_s)
   }
   // Degenerate geometry (e.g. two tight clusters) can reject everything;
   // fall back to keeping all rather than stalling the warm-up.
-  if (survivors.empty()) {
+  const bool degenerate = survivors.empty();
+  if (degenerate) {
     for (std::size_t i = 0; i < n; ++i) survivors.push_back(i);
+  }
+  if (auto q = mntp::obs::ambient_query(); q.tracer) {
+    const std::size_t rejected = degenerate ? 0 : n - survivors.size();
+    std::string voted_out;
+    for (std::size_t i = 0, s = 0; i < n; ++i) {
+      if (!degenerate && (s >= survivors.size() || survivors[s] != i)) {
+        if (!voted_out.empty()) voted_out += ',';
+        voted_out += std::to_string(i);
+      } else if (s < survivors.size() && survivors[s] == i) {
+        ++s;
+      }
+    }
+    q.tracer->stage(q.id, now, "false_ticker",
+                    rejected > 0 ? mntp::obs::Reason::kFalseTicker
+                                 : mntp::obs::Reason::kOk,
+                    {{"mean_ms", mean * 1e3},
+                     {"sd_ms", sd * 1e3},
+                     {"sources", static_cast<std::int64_t>(n)},
+                     {"rejected", static_cast<std::int64_t>(rejected)},
+                     {"voted_out", voted_out},
+                     {"degenerate", degenerate}});
   }
   return survivors;
 }

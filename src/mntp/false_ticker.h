@@ -12,14 +12,21 @@
 #include <span>
 #include <vector>
 
+#include "core/time.h"
+
 namespace mntp::protocol {
 
 /// Indices of offsets that survive the mean ± one-standard-deviation
 /// gate (applied on the absolute deviation from the mean, so both fast
 /// and slow false tickers are caught). With fewer than three offsets
 /// there is nothing to vote with and all survive.
+///
+/// When the calling thread has an ambient traced query (see
+/// obs/query_trace.h) and the vote actually ran, the verdict is
+/// recorded as a "false_ticker" stage stamped `now`.
 [[nodiscard]] std::vector<std::size_t> reject_false_tickers(
-    std::span<const double> offsets_s);
+    std::span<const double> offsets_s,
+    core::TimePoint now = core::TimePoint::epoch());
 
 /// Mean of the surviving offsets — the combined round offset. Requires a
 /// non-empty survivor list.

@@ -1,8 +1,11 @@
 #include "mntp/mntp_client.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "obs/metric_names.h"
+#include "obs/query_trace.h"
 
 namespace mntp::protocol {
 
@@ -49,10 +52,34 @@ void MntpClient::attempt() {
       sim_.now() - last_emission_ > params.max_deferral;
   hint_log_.push_back(HintRecord{
       .hints = hints, .favorable = favorable, .emitted = favorable || forced});
+  obs::QueryTracer& qt = sim_.telemetry().query_tracer();
   if (!favorable && !forced) {
-    engine_->note_deferral(sim_.now());
+    // Deferral: the opportunity is a complete (one-decision) query of
+    // its own — mint, record the gate readings, let the engine attach
+    // its deferral bookkeeping, and close with the defer verdict.
+    if (qt.enabled()) {
+      const obs::QueryId id = qt.begin(sim_.now(), "round");
+      qt.stage(id, sim_.now(), "gate", obs::Reason::kChannelDefer,
+               {{"rssi_dbm", hints.rssi.value()},
+                {"noise_dbm", hints.noise.value()},
+                {"snr_margin_db", hints.snr_margin().value()}});
+      obs::ActiveQueryScope scope(qt, id);
+      engine_->note_deferral(sim_.now());
+      qt.finish(id, sim_.now(), obs::Reason::kChannelDefer,
+                {{"phase", std::string(to_string(engine_->phase()))}});
+    } else {
+      engine_->note_deferral(sim_.now());
+    }
     pending_ = sim_.after(params.hint_recheck_interval, [this] { attempt(); });
     return;
+  }
+  if (qt.enabled()) {
+    round_trace_ = qt.begin(sim_.now(), "round");
+    qt.stage(round_trace_, sim_.now(), "gate",
+             forced ? obs::Reason::kForcedEmission : obs::Reason::kOk,
+             {{"rssi_dbm", hints.rssi.value()},
+              {"noise_dbm", hints.noise.value()},
+              {"snr_margin_db", hints.snr_margin().value()}});
   }
   if (forced) {
     ++forced_emissions_;
@@ -83,6 +110,10 @@ void MntpClient::run_round() {
 
   auto offsets = std::make_shared<std::vector<double>>();
   auto outstanding = std::make_shared<std::size_t>(chosen.size());
+  // Exchanges minted inside query() parent themselves on the ambient
+  // query at call time — install the round so the per-server traces
+  // link back to it.
+  obs::ActiveQueryScope scope(sim_.telemetry().query_tracer(), round_trace_);
   for (const std::size_t idx : chosen) {
     ++requests_sent_;
     requests_counter_->inc();
@@ -104,7 +135,19 @@ void MntpClient::run_round() {
 void MntpClient::finish_round(std::vector<double> offsets_s) {
   if (!running_) return;
   const core::TimePoint now = sim_.now();
-  const MntpEngine::RoundResult rr = engine_->on_round(now, offsets_s);
+  obs::QueryTracer& qt = sim_.telemetry().query_tracer();
+  const obs::QueryId round_id = round_trace_;
+  round_trace_ = 0;
+  // The decision phase for the verdict: on_round may advance the phase
+  // (warm-up completion) before returning, so read it afterwards via
+  // rr.warmup_completed.
+  MntpEngine::RoundResult rr;
+  {
+    // Install the round so the engine's vote/filter stages attach to it
+    // (the engine then leaves the verdict to us — see on_round).
+    obs::ActiveQueryScope scope(qt, round_id);
+    rr = engine_->on_round(now, offsets_s);
+  }
 
   if (rr.accepted && params_.apply_corrections_to_clock &&
       engine_->phase() == Phase::kRegular) {
@@ -116,6 +159,19 @@ void MntpClient::finish_round(std::vector<double> offsets_s) {
       sim_.telemetry().event(now, obs::categories::kMntp, "clock_step",
                              {{"step_ms", rr.offset_s * 1e3}});
     }
+    qt.stage(round_id, now, "clock_step", obs::Reason::kNone,
+             {{"step_ms", rr.offset_s * 1e3}});
+  }
+  if (round_id != 0) {
+    const Phase decision_phase =
+        rr.warmup_completed ? Phase::kWarmup : engine_->phase();
+    qt.finish(round_id, now,
+              offsets_s.empty() ? obs::Reason::kNoSamples
+                                : to_reason(rr.outcome),
+              {{"phase", std::string(to_string(decision_phase))},
+               {"offset_ms", rr.offset_s * 1e3},
+               {"residual_ms", rr.corrected_s * 1e3},
+               {"sources", static_cast<std::int64_t>(offsets_s.size())}});
   }
   if (rr.warmup_completed && params_.correct_drift &&
       params_.apply_corrections_to_clock) {

@@ -75,6 +75,10 @@ class MntpClient {
   std::size_t query_failures_ = 0;
   std::size_t forced_emissions_ = 0;
   core::TimePoint last_emission_;
+  /// Round trace minted at emission time (attempt()) so the gate
+  /// decision, every exchange of the round, and the engine verdict all
+  /// land under one query id. Zero while no round is in flight.
+  obs::QueryId round_trace_ = 0;
   obs::Counter* requests_counter_ = nullptr;
   obs::Counter* forced_counter_ = nullptr;
   obs::Counter* clock_steps_counter_ = nullptr;

@@ -30,6 +30,12 @@ class CellularNetwork::DirectionalLink final : public Link {
         congested ? p.congested_loss_probability : p.loss_probability;
     if (rng_.bernoulli(p_loss)) {
       drop_counter_->inc();
+      if (auto q = obs::ambient_query(); q.tracer) {
+        q.tracer->stage(q.id, now, "cell", obs::Reason::kNone,
+                        {{"dir", std::string(is_uplink_ ? "up" : "down")},
+                         {"congested", congested},
+                         {"dropped", true}});
+      }
       return {.delivered = false, .delay = core::Duration::zero()};
     }
 
@@ -56,6 +62,12 @@ class CellularNetwork::DirectionalLink final : public Link {
     }
     delay = std::min(delay, p.max_one_way);
     delay_ms_->record(delay.to_millis());
+    if (auto q = obs::ambient_query(); q.tracer) {
+      q.tracer->stage(q.id, now, "cell", obs::Reason::kNone,
+                      {{"dir", std::string(is_uplink_ ? "up" : "down")},
+                       {"congested", congested},
+                       {"delay_ms", delay.to_millis()}});
+    }
     return {.delivered = true, .delay = delay};
   }
 

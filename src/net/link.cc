@@ -14,6 +14,9 @@ struct Walker : std::enable_shared_from_this<Walker> {
   std::size_t bytes;
   std::function<void(core::TimePoint)> on_arrival;
   std::function<void()> on_drop;
+  /// Non-null only when this datagram belongs to a traced query.
+  obs::QueryTracer* tracer = nullptr;
+  obs::QueryId query = 0;
 
   Walker(sim::Simulation& s, LinkPath p, std::size_t b,
          std::function<void(core::TimePoint)> arr, std::function<void()> drop)
@@ -28,10 +31,27 @@ struct Walker : std::enable_shared_from_this<Walker> {
       if (on_arrival) on_arrival(t);
       return;
     }
-    const TransmitResult r = path.hop(hop_index).transmit(t, bytes);
+    TransmitResult r;
+    if (tracer) {
+      // Channel models under this transmit() see the packet's query as
+      // ambient and can record airtime detail (retries, queueing, ...).
+      obs::ActiveQueryScope scope(*tracer, query);
+      r = path.hop(hop_index).transmit(t, bytes);
+    } else {
+      r = path.hop(hop_index).transmit(t, bytes);
+    }
     if (!r.delivered) {
+      if (tracer) {
+        tracer->stage(query, t, "loss", obs::Reason::kLoss,
+                      {{"hop", static_cast<std::int64_t>(hop_index)}});
+      }
       if (on_drop) on_drop();
       return;
+    }
+    if (tracer) {
+      tracer->stage(query, t, "hop", obs::Reason::kNone,
+                    {{"hop", static_cast<std::int64_t>(hop_index)},
+                     {"delay_ms", r.delay.to_millis()}});
     }
     auto self = shared_from_this();
     sim.at(t + r.delay, [self, hop_index, next = t + r.delay] {
@@ -44,9 +64,16 @@ struct Walker : std::enable_shared_from_this<Walker> {
 
 void send_datagram(sim::Simulation& sim, LinkPath path, std::size_t bytes,
                    std::function<void(core::TimePoint)> on_arrival,
-                   std::function<void()> on_drop) {
+                   std::function<void()> on_drop, obs::QueryId query) {
   auto w = std::make_shared<Walker>(sim, std::move(path), bytes,
                                     std::move(on_arrival), std::move(on_drop));
+  if (query != 0) {
+    obs::QueryTracer& tracer = sim.telemetry().query_tracer();
+    if (tracer.enabled()) {
+      w->tracer = &tracer;
+      w->query = query;
+    }
+  }
   w->step(0, sim.now());
 }
 

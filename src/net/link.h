@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/time.h"
+#include "obs/query_trace.h"
 
 namespace mntp::sim {
 class Simulation;
@@ -60,8 +61,15 @@ class LinkPath {
 /// stateful links. On end-to-end delivery `on_arrival(arrival_time)`
 /// fires; if any hop drops the packet `on_drop()` fires (at the drop
 /// instant) when provided. Exactly one of the two callbacks runs.
+///
+/// `query` optionally ties the datagram to a query trace (see
+/// obs/query_trace.h): each surviving hop records a "hop" stage, a drop
+/// records a "loss" stage naming the hop, and the ambient query is
+/// installed around each transmit() so channel models can attach
+/// airtime detail. Id 0 (the default) traces nothing.
 void send_datagram(sim::Simulation& sim, LinkPath path, std::size_t bytes,
                    std::function<void(core::TimePoint)> on_arrival,
-                   std::function<void()> on_drop = {});
+                   std::function<void()> on_drop = {},
+                   obs::QueryId query = 0);
 
 }  // namespace mntp::net

@@ -133,6 +133,14 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
   }
   if (!delivered) {
     drop_counter_[dir]->inc();
+    if (auto q = obs::ambient_query(); q.tracer) {
+      q.tracer->stage(q.id, now, "airtime", obs::Reason::kNone,
+                      {{"dir", std::string(is_uplink ? "up" : "down")},
+                       {"retries", static_cast<std::int64_t>(params_.max_retries)},
+                       {"exhausted", true},
+                       {"snr_db", snr.value()},
+                       {"p_fail", p_fail}});
+    }
     return {.delivered = false, .delay = core::Duration::zero()};
   }
 
@@ -168,6 +176,17 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
   const core::Duration delay =
       params_.base_delay + backoff + queueing + spike + serialization;
   delay_ms_[dir]->record(delay.to_millis());
+  if (auto q = obs::ambient_query(); q.tracer) {
+    // Per-query airtime breakdown: where this packet's delay came from.
+    q.tracer->stage(q.id, now, "airtime", obs::Reason::kNone,
+                    {{"dir", std::string(is_uplink ? "up" : "down")},
+                     {"retries", static_cast<std::int64_t>(retries)},
+                     {"backoff_ms", backoff.to_millis()},
+                     {"queueing_ms", queueing.to_millis()},
+                     {"spike_ms", spike.to_millis()},
+                     {"snr_db", snr.value()},
+                     {"utilization", utilization_}});
+  }
   if (telemetry_->tracing() && spike > core::Duration::zero()) {
     // Heavy-tail stalls are the events MNTP exists to dodge; trace them.
     telemetry_->event(now, obs::categories::kNet, "wifi_spike",

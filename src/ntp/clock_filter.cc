@@ -42,6 +42,12 @@ std::optional<PeerEstimate> ClockFilter::update(core::Duration offset,
     if (dev_s > params_.popcorn_gate * jitter) {
       ++suppressed_;
       suppressed_counter_->inc();
+      if (auto q = obs::ambient_query(); q.tracer) {
+        q.tracer->stage(q.id, now, "clock_filter",
+                        obs::Reason::kPopcornSuppressed,
+                        {{"deviation_ms", dev_s * 1e3},
+                         {"gate_ms", params_.popcorn_gate * jitter * 1e3}});
+      }
       return std::nullopt;
     }
   }

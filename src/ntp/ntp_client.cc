@@ -1,6 +1,9 @@
 #include "ntp/ntp_client.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "obs/query_trace.h"
 
 namespace mntp::ntp {
 
@@ -29,42 +32,79 @@ void NtpClient::poll_round() {
   // Query every peer this round; when the last reply (or failure) lands,
   // run the mitigation pipeline and discipline the clock.
   auto outstanding = std::make_shared<std::size_t>(params_.peer_indices.size());
+  // One round trace spanning all peer exchanges and the mitigation
+  // verdict; installed as ambient so query() parents the per-peer
+  // exchange traces on it.
+  obs::QueryTracer& tracer = sim_.telemetry().query_tracer();
+  const obs::QueryId round_id =
+      tracer.enabled() ? tracer.begin(sim_.now(), "round") : 0;
+  obs::ActiveQueryScope scope(tracer, round_id);
   for (std::size_t peer = 0; peer < params_.peer_indices.size(); ++peer) {
     const ServerEndpoint ep = pool_.endpoint(params_.peer_indices[peer],
                                              last_hop_up_, last_hop_down_);
-    engine_.query(ep, params_.query_options,
-                  [this, peer, outstanding](core::Result<SntpSample> result) {
-                    if (result.ok()) {
-                      const SntpSample& s = result.value();
-                      (void)filters_[peer].update(s.offset, s.delay,
-                                                  s.completed_at);
-                    }
-                    if (--*outstanding == 0) {
-                      // Mitigation over the current peer estimates.
-                      std::vector<PeerEstimate> estimates;
-                      for (std::size_t i = 0; i < filters_.size(); ++i) {
-                        if (const auto est = filters_[i].current()) {
-                          estimates.push_back(*est);
-                        }
-                      }
-                      if (estimates.empty()) return;
-                      auto chimers = select_truechimers(estimates);
-                      if (chimers.empty()) return;
-                      chimers = cluster_survivors(estimates, std::move(chimers),
-                                                  params_.cluster);
-                      last_survivors_ = chimers.size();
-                      // Discipline only on rounds where a surviving peer
-                      // contributed a not-yet-consumed nomination; a round
-                      // of stale re-nominations must not move the clock
-                      // again (RFC 5905 uses each filter output once).
-                      std::vector<std::size_t> fresh_survivors;
-                      for (std::size_t idx : chimers) {
-                        if (estimates[idx].fresh) fresh_survivors.push_back(idx);
-                      }
-                      if (fresh_survivors.empty()) return;
-                      discipline(combine_offsets(estimates, fresh_survivors));
-                    }
-                  });
+    engine_.query(
+        ep, params_.query_options,
+        [this, peer, outstanding, round_id](core::Result<SntpSample> result) {
+          obs::QueryTracer& qt = sim_.telemetry().query_tracer();
+          if (result.ok()) {
+            const SntpSample& s = result.value();
+            (void)filters_[peer].update(s.offset, s.delay, s.completed_at);
+          }
+          if (--*outstanding == 0) {
+            // Mitigation over the current peer estimates.
+            std::vector<PeerEstimate> estimates;
+            for (std::size_t i = 0; i < filters_.size(); ++i) {
+              if (const auto est = filters_[i].current()) {
+                estimates.push_back(*est);
+              }
+            }
+            if (estimates.empty()) {
+              qt.finish(round_id, sim_.now(), obs::Reason::kNoSamples,
+                        {{"peers", static_cast<std::int64_t>(filters_.size())}});
+              return;
+            }
+            auto chimers = select_truechimers(estimates);
+            if (chimers.empty()) {
+              // Intersection found no majority clique: every estimate is
+              // a potential false ticker; the round moves nothing.
+              qt.stage(round_id, sim_.now(), "selection",
+                       obs::Reason::kNoSurvivors,
+                       {{"estimates",
+                         static_cast<std::int64_t>(estimates.size())},
+                        {"truechimers", static_cast<std::int64_t>(0)}});
+              qt.finish(round_id, sim_.now(), obs::Reason::kNoSurvivors, {});
+              return;
+            }
+            const std::size_t truechimers = chimers.size();
+            chimers = cluster_survivors(estimates, std::move(chimers),
+                                        params_.cluster);
+            last_survivors_ = chimers.size();
+            qt.stage(round_id, sim_.now(), "selection", obs::Reason::kOk,
+                     {{"estimates", static_cast<std::int64_t>(estimates.size())},
+                      {"truechimers", static_cast<std::int64_t>(truechimers)},
+                      {"survivors",
+                       static_cast<std::int64_t>(chimers.size())}});
+            // Discipline only on rounds where a surviving peer
+            // contributed a not-yet-consumed nomination; a round
+            // of stale re-nominations must not move the clock
+            // again (RFC 5905 uses each filter output once).
+            std::vector<std::size_t> fresh_survivors;
+            for (std::size_t idx : chimers) {
+              if (estimates[idx].fresh) fresh_survivors.push_back(idx);
+            }
+            if (fresh_survivors.empty()) {
+              qt.finish(round_id, sim_.now(), obs::Reason::kOk,
+                        {{"disciplined", false}});
+              return;
+            }
+            const core::Duration offset =
+                combine_offsets(estimates, fresh_survivors);
+            discipline(offset);
+            qt.finish(round_id, sim_.now(), obs::Reason::kOk,
+                      {{"disciplined", true},
+                       {"offset_ms", offset.to_millis()}});
+          }
+        });
   }
 }
 

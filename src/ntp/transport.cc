@@ -51,13 +51,29 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
                                         core::NtpTimestamp::unset());
   const auto request_bytes = request.to_bytes();
 
+  // Mint a per-exchange query trace, parented to the round that issued
+  // it (the client installs its round as ambient around this call).
+  obs::QueryTracer& qt = sim_.telemetry().query_tracer();
+  obs::QueryId qid = 0;
+  if (qt.enabled()) {
+    qid = qt.begin(send_true, "exchange", obs::ambient_query().id);
+    qt.stage(qid, send_true, "request", obs::Reason::kOk,
+             {{"wire_bytes", static_cast<std::int64_t>(options.wire_bytes)},
+              {"mode", std::string(options.sntp_style ? "sntp" : "ntp")},
+              {"timeout_ms", options.timeout.to_millis()}});
+  }
+
   sent_counter_->inc();
-  ex->timeout_event = sim_.after(options.timeout, [this, ex] {
+  ex->timeout_event = sim_.after(options.timeout, [this, ex, qid] {
     ++timeouts_;
     timeout_counter_->inc();
     if (sim_.telemetry().tracing()) {
       sim_.telemetry().event(sim_.now(), obs::categories::kNtp,
                              "query_timeout", {});
+    }
+    if (qid != 0) {
+      sim_.telemetry().query_tracer().finish(qid, sim_.now(),
+                                             obs::Reason::kTimeout);
     }
     ex->settle(core::Error::timeout("no NTP reply within timeout"));
   });
@@ -67,28 +83,44 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
   const std::size_t wire_bytes = options.wire_bytes;
 
   // Packet loss in either direction is not observable by a real client;
-  // the timeout event fires in that case (no on_drop handler needed).
+  // the timeout event fires in that case (no on_drop handler needed —
+  // the traced loss stage is recorded by the link walker itself).
   net::send_datagram(
       sim_, endpoint.up, wire_bytes,
-      [this, ex, server, down, request_bytes, t1,
-       wire_bytes](core::TimePoint arrival) {
+      [this, ex, server, down, request_bytes, t1, wire_bytes,
+       qid](core::TimePoint arrival) {
         auto reply = server->handle(request_bytes, arrival);
         if (!reply.ok()) {
           error_counter_->inc();
+          if (qid != 0) {
+            sim_.telemetry().query_tracer().finish(
+                qid, arrival, obs::Reason::kServerError);
+          }
           ex->settle(reply.error());
           return;
         }
         const NtpPacket reply_packet = reply.value().packet;
         const auto reply_bytes = reply_packet.to_bytes();
+        if (qid != 0) {
+          sim_.telemetry().query_tracer().stage(
+              qid, arrival, "server", obs::Reason::kOk,
+              {{"stratum", static_cast<std::int64_t>(reply_packet.stratum)},
+               {"processing_ms",
+                (reply.value().departs - arrival).to_millis()}});
+        }
         // The reply leaves after the server's processing delay.
         sim_.at(reply.value().departs, [this, ex, down, reply_bytes, t1,
-                                        wire_bytes] {
+                                        wire_bytes, qid] {
           net::send_datagram(
               sim_, down, wire_bytes,
-              [this, ex, reply_bytes, t1](core::TimePoint t4_true) {
+              [this, ex, reply_bytes, t1, qid](core::TimePoint t4_true) {
                 auto parsed = NtpPacket::parse(reply_bytes);
                 if (!parsed.ok()) {
                   error_counter_->inc();
+                  if (qid != 0) {
+                    sim_.telemetry().query_tracer().finish(
+                        qid, t4_true, obs::Reason::kValidationError);
+                  }
                   ex->settle(parsed.error());
                   return;
                 }
@@ -96,6 +128,10 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
                 if (const core::Status s = validate_sntp_response(p, t1);
                     !s.ok()) {
                   error_counter_->inc();
+                  if (qid != 0) {
+                    sim_.telemetry().query_tracer().finish(
+                        qid, t4_true, obs::Reason::kValidationError);
+                  }
                   ex->settle(s.error());
                   return;
                 }
@@ -106,6 +142,13 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
                 const SntpExchange xchg{
                     .t1 = t1, .t2 = p.receive_ts, .t3 = p.transmit_ts, .t4 = t4};
                 rtt_ms_->record(xchg.delay().to_millis());
+                if (qid != 0) {
+                  sim_.telemetry().query_tracer().finish(
+                      qid, t4_true, obs::Reason::kOk,
+                      {{"offset_ms", xchg.offset().to_millis()},
+                       {"rtt_ms", xchg.delay().to_millis()},
+                       {"stratum", static_cast<std::int64_t>(p.stratum)}});
+                }
                 ex->settle(SntpSample{
                     .offset = xchg.offset(),
                     .delay = xchg.delay(),
@@ -113,9 +156,11 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
                     .server_id = p.reference_id,
                     .completed_at = t4_true,
                 });
-              });
+              },
+              /*on_drop=*/{}, qid);
         });
-      });
+      },
+      /*on_drop=*/{}, qid);
 }
 
 }  // namespace mntp::ntp

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "core/json_writer.h"
 #include "obs/telemetry.h"
 #include "obs/trace_event.h"
 
@@ -155,16 +156,6 @@ void ProfileScope::close() {
                            .has_sim = frame.has_sim});
 }
 
-namespace {
-
-void append_us(std::string& out, std::int64_t ns) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
-  out += buf;
-}
-
-}  // namespace
-
 void write_chrome_trace(std::ostream& out, const Profiler& profiler,
                         std::string_view run_name) {
   std::vector<Profiler::SpanRecord> spans = profiler.records();
@@ -176,32 +167,59 @@ void write_chrome_trace(std::ostream& out, const Profiler& profiler,
                      return a.start_ns < b.start_ns;
                    });
 
-  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"run\":\""
-      << json_escape(run_name) << "\",\"span_count\":" << spans.size()
-      << ",\"dropped_spans\":" << profiler.dropped() << "},\"traceEvents\":[";
-  out << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
-         "\"args\":{\"name\":\""
-      << json_escape(run_name) << "\"}}";
+  // Chrome trace ts/dur are fractional microseconds, rendered "%.3f".
+  const auto us = [](std::int64_t ns) {
+    return static_cast<double>(ns) / 1e3;
+  };
   std::string line;
+  {
+    core::JsonWriter w(line);
+    w.begin_object()
+        .kv("displayTimeUnit", "ms")
+        .key("otherData")
+        .begin_object()
+        .kv("run", run_name)
+        .kv("span_count", static_cast<std::int64_t>(spans.size()))
+        .kv("dropped_spans", static_cast<std::int64_t>(profiler.dropped()))
+        .end_object();
+  }
+  line += ",\"traceEvents\":[";
+  {
+    core::JsonWriter w(line);
+    w.begin_object()
+        .kv("ph", "M")
+        .kv("pid", 0)
+        .kv("tid", 0)
+        .kv("name", "process_name")
+        .key("args")
+        .begin_object()
+        .kv("name", run_name)
+        .end_object()
+        .end_object();
+  }
+  out << line;
+  // Spans stream one event at a time through a reused buffer — a trace
+  // can hold hundreds of thousands of records.
   for (const Profiler::SpanRecord& s : spans) {
-    line.clear();
-    line += ",\n{\"name\":\"";
-    line += json_escape(s.name);
-    line += "\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":0,\"tid\":";
-    line += std::to_string(s.tid);
-    line += ",\"ts\":";
-    append_us(line, s.start_ns);
-    line += ",\"dur\":";
-    append_us(line, s.dur_ns);
-    line += ",\"args\":{\"self_us\":";
-    append_us(line, s.self_ns);
-    line += ",\"depth\":";
-    line += std::to_string(s.depth);
-    if (s.has_sim) {
-      line += ",\"sim_t_ns\":";
-      line += std::to_string(s.sim_t_ns);
-    }
-    line += "}}";
+    line.assign(",\n");
+    core::JsonWriter w(line);
+    w.begin_object()
+        .kv("name", s.name)
+        .kv("cat", "span")
+        .kv("ph", "X")
+        .kv("pid", 0)
+        .kv("tid", static_cast<std::int64_t>(s.tid))
+        .key("ts")
+        .value_fixed(us(s.start_ns), 3)
+        .key("dur")
+        .value_fixed(us(s.dur_ns), 3)
+        .key("args")
+        .begin_object()
+        .key("self_us")
+        .value_fixed(us(s.self_ns), 3)
+        .kv("depth", static_cast<std::int64_t>(s.depth));
+    if (s.has_sim) w.kv("sim_t_ns", s.sim_t_ns);
+    w.end_object().end_object();
     out << line;
   }
   out << "]}\n";

@@ -1,0 +1,157 @@
+#include "obs/query_trace.h"
+
+#include <fstream>
+#include <utility>
+
+#include "core/json_writer.h"
+
+namespace mntp::obs {
+
+namespace {
+
+thread_local AmbientQuery t_ambient;
+
+void write_field(core::JsonWriter& w, const Field& f) {
+  w.key(f.key);
+  std::visit([&](const auto& v) { w.value(v); }, f.value);
+}
+
+}  // namespace
+
+QueryId QueryTracer::begin(core::TimePoint t, std::string_view kind,
+                           QueryId parent) {
+  if (!enabled()) return 0;
+  const QueryId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  if (traces_.size() >= limits_.max_queries) {
+    ++dropped_queries_;
+    return id;  // id stays monotonic; stages for it will no-op
+  }
+  QueryTrace trace;
+  trace.id = id;
+  trace.parent = parent;
+  trace.kind = std::string(kind);
+  trace.started = t;
+  index_.emplace(id, traces_.size());
+  traces_.push_back(std::move(trace));
+  return id;
+}
+
+void QueryTracer::stage(QueryId id, core::TimePoint t,
+                        std::string_view stage, Reason reason,
+                        std::vector<Field> fields) {
+  if (id == 0 || !enabled()) return;
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  QueryTrace& trace = traces_[it->second];
+  if (trace.finished) return;  // straggler after the verdict
+  if (trace.stages.size() >= limits_.max_stages_per_query) {
+    ++dropped_stages_;
+    return;
+  }
+  trace.stages.push_back(
+      QueryStage{t, std::string(stage), reason, std::move(fields)});
+}
+
+void QueryTracer::finish(QueryId id, core::TimePoint t, Reason reason,
+                         std::vector<Field> fields) {
+  if (id == 0 || !enabled()) return;
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  QueryTrace& trace = traces_[it->second];
+  if (trace.finished) return;
+  // The verdict always lands, even at the stage cap — a trace without a
+  // terminal reason is useless to `mntp-inspect explain`.
+  trace.stages.push_back(
+      QueryStage{t, "verdict", reason, std::move(fields)});
+  trace.finished = true;
+}
+
+std::vector<QueryTrace> QueryTracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return traces_;
+}
+
+std::uint64_t QueryTracer::minted() const {
+  return next_id_.load(std::memory_order_relaxed) - 1;
+}
+
+std::uint64_t QueryTracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_queries_;
+}
+
+void QueryTracer::clear() {
+  std::lock_guard lock(mutex_);
+  traces_.clear();
+  index_.clear();
+  dropped_queries_ = 0;
+  dropped_stages_ = 0;
+}
+
+std::string QueryTracer::to_jsonl(std::string_view run,
+                                  core::TimePoint sim_end) const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve(256 + traces_.size() * 256);
+  {
+    core::JsonWriter w(out);
+    w.begin_object()
+        .kv("type", "meta")
+        .kv("schema_version", std::int64_t{1})
+        .kv("kind", "mntp_query_trace")
+        .kv("run", run)
+        .kv("sim_end_ns", sim_end.ns())
+        .kv("query_count", static_cast<std::int64_t>(traces_.size()))
+        .kv("dropped", static_cast<std::int64_t>(dropped_queries_))
+        .kv("dropped_stages", static_cast<std::int64_t>(dropped_stages_))
+        .end_object();
+  }
+  out += '\n';
+  for (const QueryTrace& trace : traces_) {
+    core::JsonWriter w(out);
+    w.begin_object()
+        .kv("type", "query")
+        .kv("id", trace.id)
+        .kv("parent", trace.parent)
+        .kv("kind", trace.kind)
+        .kv("start_ns", trace.started.ns())
+        .key("stages")
+        .begin_array();
+    for (const QueryStage& s : trace.stages) {
+      w.begin_object()
+          .kv("t_ns", s.t.ns())
+          .kv("stage", s.stage)
+          .kv("reason", to_string(s.reason))
+          .key("fields")
+          .begin_object();
+      for (const Field& f : s.fields) write_field(w, f);
+      w.end_object().end_object();
+    }
+    w.end_array().end_object();
+    out += '\n';
+  }
+  return out;
+}
+
+bool QueryTracer::write_jsonl_file(const std::string& path,
+                                   std::string_view run,
+                                   core::TimePoint sim_end) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_jsonl(run, sim_end);
+  return static_cast<bool>(out);
+}
+
+AmbientQuery ambient_query() { return t_ambient; }
+
+ActiveQueryScope::ActiveQueryScope(QueryTracer& tracer, QueryId id)
+    : previous_(t_ambient) {
+  t_ambient = id != 0 ? AmbientQuery{&tracer, id} : AmbientQuery{};
+}
+
+ActiveQueryScope::~ActiveQueryScope() { t_ambient = previous_; }
+
+}  // namespace mntp::obs

@@ -1,0 +1,182 @@
+// Query-scoped causal tracing ("flight recorder").
+//
+// Metrics say HOW MANY samples were rejected; spans say HOW LONG a round
+// took; this layer answers WHY a particular exchange ended the way it
+// did. Every sync query (an MNTP/NTP round, or one client↔server
+// exchange within it) is assigned a monotonically increasing `QueryId`
+// minted at the client, and every hop and accept/defer/reject decision
+// along its path appends a stage record — simulation timestamp, stage
+// name, typed reason code (obs/reason_codes.h), and numeric payload
+// fields — to a bounded per-query store owned by the Telemetry context.
+//
+// Lifecycle of a trace:
+//
+//   id = tracer.begin(t, "round")            // mint; 0 when disabled
+//   tracer.stage(id, t, "gate", kChannelDefer, {{"rssi", -78.0}, ...})
+//   ...
+//   tracer.finish(id, t, kTrendOutlier, {{"residual_ms", ...}})
+//
+// finish() appends a terminal "verdict" stage and latches the trace:
+// later stage() calls for that id are dropped. That makes straggler
+// events harmless — a reply arriving after its exchange already timed
+// out records nothing, matching what a real client could observe.
+//
+// Threading the id: call sites that hold the id pass it explicitly
+// (transport lambdas capture it). Decision emitters buried under stable
+// APIs (clock_filter, false_ticker, drift_filter, selection, channel
+// models) instead read the *ambient* query — a thread_local (tracer,
+// id) pair installed by the owner via ActiveScope around the code that
+// runs on the query's behalf. With no ambient set and the tracer
+// disabled, an instrumented decision point costs one thread-local read
+// and a branch.
+//
+// Determinism & overhead: the tracer only OBSERVES — it never consumes
+// RNG draws, never schedules events, and is off by default behind the
+// same cached-atomic guard discipline as the profiler, so untraced runs
+// are bit-identical to a build without the instrumentation (pinned by
+// mntp_engine_test and BM_QueryTraceDisabled). The store is bounded
+// (max_queries / max_stages_per_query); overflow increments dropped
+// counters instead of growing without bound. All mutation serializes on
+// one mutex — safe under the parallel tuner, where each worker's rounds
+// interleave arbitrarily but each stage append is atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time.h"
+#include "obs/reason_codes.h"
+#include "obs/trace_event.h"
+
+namespace mntp::obs {
+
+/// Monotonic per-tracer query identifier; 0 is "no query" (disabled).
+using QueryId = std::uint64_t;
+
+/// One hop or decision in the life of a query.
+struct QueryStage {
+  core::TimePoint t;        ///< simulation time of the record
+  std::string stage;        ///< "request", "hop", "gate", "verdict", ...
+  Reason reason = Reason::kNone;
+  std::vector<Field> fields;
+};
+
+/// The full recorded life of one query.
+struct QueryTrace {
+  QueryId id = 0;
+  QueryId parent = 0;  ///< round id for exchanges; 0 for roots
+  std::string kind;    ///< "round" or "exchange"
+  core::TimePoint started;
+  std::vector<QueryStage> stages;
+  bool finished = false;
+
+  /// The terminal reason (from the "verdict" stage), or kNone.
+  [[nodiscard]] Reason verdict() const {
+    return finished && !stages.empty() ? stages.back().reason : Reason::kNone;
+  }
+};
+
+class QueryTracer {
+ public:
+  struct Limits {
+    std::size_t max_queries = 1 << 16;
+    std::size_t max_stages_per_query = 128;
+  };
+
+  QueryTracer() = default;
+  explicit QueryTracer(Limits limits) : limits_(limits) {}
+  QueryTracer(const QueryTracer&) = delete;
+  QueryTracer& operator=(const QueryTracer&) = delete;
+
+  /// Off by default; instrumentation guards on this before building any
+  /// stage payload. Lock-free read.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Mint a new query. Returns 0 when disabled — every other call
+  /// treats id 0 as "not traced", so callers never need their own guard
+  /// beyond skipping payload construction. Ids stay monotonic even when
+  /// the store is full (the trace body is then dropped and counted).
+  QueryId begin(core::TimePoint t, std::string_view kind,
+                QueryId parent = 0);
+
+  /// Append a stage to a live query. No-ops for id 0, unknown ids
+  /// (evicted/overflowed), or already-finished queries.
+  void stage(QueryId id, core::TimePoint t, std::string_view stage,
+             Reason reason, std::vector<Field> fields = {});
+
+  /// Append the terminal "verdict" stage and latch the trace. Later
+  /// stage()/finish() calls for this id are dropped.
+  void finish(QueryId id, core::TimePoint t, Reason reason,
+              std::vector<Field> fields = {});
+
+  /// Snapshot of all stored traces, in mint order.
+  [[nodiscard]] std::vector<QueryTrace> snapshot() const;
+  /// Queries minted while enabled (including dropped ones).
+  [[nodiscard]] std::uint64_t minted() const;
+  /// Traces dropped because the store was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Forget all stored traces (keeps the id counter monotonic).
+  void clear();
+
+  /// Serialize the store as query-trace JSONL (schema v1): a meta line
+  /// {"type":"meta","kind":"mntp_query_trace",...} then one
+  /// {"type":"query",...} line per trace in mint order. `run` names the
+  /// producing bench; `sim_end` stamps the end of the simulated run.
+  [[nodiscard]] std::string to_jsonl(std::string_view run,
+                                     core::TimePoint sim_end) const;
+  /// to_jsonl straight to a file; returns false on I/O failure.
+  bool write_jsonl_file(const std::string& path, std::string_view run,
+                        core::TimePoint sim_end) const;
+
+ private:
+  Limits limits_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::vector<QueryTrace> traces_;
+  std::unordered_map<QueryId, std::size_t> index_;
+  std::uint64_t dropped_queries_ = 0;
+  std::uint64_t dropped_stages_ = 0;
+};
+
+/// The ambient query: (tracer, id) for the query the current thread is
+/// working on behalf of. Null tracer / id 0 when none.
+struct AmbientQuery {
+  QueryTracer* tracer = nullptr;
+  QueryId id = 0;
+};
+
+/// Read the current thread's ambient query. Decision emitters use this
+/// to attach stages without any API changes along the call path:
+///
+///   if (auto q = obs::ambient_query(); q.tracer) {
+///     q.tracer->stage(q.id, now, "popcorn", Reason::kPopcornSuppressed,
+///                     {{"deviation_ms", dev * 1e3}});
+///   }
+[[nodiscard]] AmbientQuery ambient_query();
+
+/// Installs (tracer, id) as the thread's ambient query for this scope;
+/// restores the previous ambient on destruction. Nestable. Passing
+/// id 0 installs "no ambient" (emitters see a null tracer), so callers
+/// can wrap unconditionally with the id they hold.
+class ActiveQueryScope {
+ public:
+  ActiveQueryScope(QueryTracer& tracer, QueryId id);
+  ~ActiveQueryScope();
+  ActiveQueryScope(const ActiveQueryScope&) = delete;
+  ActiveQueryScope& operator=(const ActiveQueryScope&) = delete;
+
+ private:
+  AmbientQuery previous_;
+};
+
+}  // namespace mntp::obs

@@ -2,37 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <vector>
+
+#include "core/json_writer.h"
 
 namespace mntp::obs {
 
 namespace {
 
-void append_number(std::string& out, double v) {
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
-
-void append_labels(std::string& out, const Labels& labels) {
-  out += "\"labels\":{";
-  bool first = true;
-  for (const auto& [k, v] : labels) {
-    if (!first) out += ',';
-    first = false;
-    out += '"';
-    out += json_escape(k);
-    out += "\":\"";
-    out += json_escape(v);
-    out += '"';
-  }
-  out += '}';
+void append_labels(core::JsonWriter& w, const Labels& labels) {
+  w.key("labels").begin_object();
+  for (const auto& [k, v] : labels) w.kv(k, v);
+  w.end_object();
 }
 
 }  // namespace
@@ -40,52 +22,44 @@ void append_labels(std::string& out, const Labels& labels) {
 std::string to_jsonl_line(const MetricSnapshot& s) {
   std::string out;
   out.reserve(128);
-  out += "{\"type\":\"metric\",\"kind\":\"";
+  core::JsonWriter w(out);
+  w.begin_object().kv("type", "metric").key("kind");
   switch (s.kind) {
-    case MetricSnapshot::Kind::kCounter: out += "counter"; break;
-    case MetricSnapshot::Kind::kGauge: out += "gauge"; break;
-    case MetricSnapshot::Kind::kHistogram: out += "histogram"; break;
+    case MetricSnapshot::Kind::kCounter:
+      w.value("counter");
+      break;
+    case MetricSnapshot::Kind::kGauge:
+      w.value("gauge");
+      break;
+    case MetricSnapshot::Kind::kHistogram:
+      w.value("histogram");
+      break;
   }
-  out += "\",\"name\":\"";
-  out += json_escape(s.name);
-  out += "\",";
-  append_labels(out, s.labels);
+  w.kv("name", s.name);
+  append_labels(w, s.labels);
   if (s.kind != MetricSnapshot::Kind::kHistogram) {
-    out += ",\"value\":";
-    append_number(out, s.value);
-    out += '}';
+    w.kv("value", s.value).end_object();
     return out;
   }
-  out += ",\"count\":";
-  out += std::to_string(s.count);
-  out += ",\"sum\":";
-  append_number(out, s.sum);
-  out += ",\"min\":";
-  append_number(out, s.min);
-  out += ",\"max\":";
-  append_number(out, s.max);
-  out += ",\"p50\":";
-  append_number(out, s.p50);
-  out += ",\"p90\":";
-  append_number(out, s.p90);
-  out += ",\"p99\":";
-  append_number(out, s.p99);
-  out += ",\"buckets\":[";
-  bool first = true;
+  w.kv("count", static_cast<std::int64_t>(s.count))
+      .kv("sum", s.sum)
+      .kv("min", s.min)
+      .kv("max", s.max)
+      .kv("p50", s.p50)
+      .kv("p90", s.p90)
+      .kv("p99", s.p99)
+      .key("buckets")
+      .begin_array();
   for (const auto& [le, count] : s.buckets) {
-    if (!first) out += ',';
-    first = false;
-    out += "{\"le\":";
+    w.begin_object().key("le");
     if (std::isinf(le)) {
-      out += "\"inf\"";
+      w.value("inf");
     } else {
-      append_number(out, le);
+      w.value(le);
     }
-    out += ",\"count\":";
-    out += std::to_string(count);
-    out += '}';
+    w.kv("count", static_cast<std::int64_t>(count)).end_object();
   }
-  out += "]}";
+  w.end_array().end_object();
   return out;
 }
 
@@ -95,11 +69,19 @@ void write_run_report(std::ostream& out, const Telemetry& telemetry,
   const std::vector<MetricSnapshot> metrics = telemetry.metrics().snapshot();
   const std::size_t event_count = trace ? trace->events().size() : 0;
 
-  out << "{\"type\":\"meta\",\"schema_version\":1,\"run\":\""
-      << json_escape(options.run_name)
-      << "\",\"sim_end_ns\":" << options.sim_end.ns()
-      << ",\"metric_count\":" << metrics.size()
-      << ",\"event_count\":" << event_count << "}\n";
+  std::string meta;
+  {
+    core::JsonWriter w(meta);
+    w.begin_object()
+        .kv("type", "meta")
+        .kv("schema_version", std::int64_t{1})
+        .kv("run", options.run_name)
+        .kv("sim_end_ns", options.sim_end.ns())
+        .kv("metric_count", static_cast<std::int64_t>(metrics.size()))
+        .kv("event_count", static_cast<std::int64_t>(event_count))
+        .end_object();
+  }
+  out << meta << '\n';
 
   for (const MetricSnapshot& s : metrics) out << to_jsonl_line(s) << '\n';
   if (trace) {

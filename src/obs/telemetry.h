@@ -49,6 +49,7 @@
 #include "core/time.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/query_trace.h"
 #include "obs/trace_event.h"
 
 namespace mntp::obs {
@@ -67,6 +68,15 @@ class Telemetry {
   /// profiler().stats() / export_to_metrics / write_chrome_trace.
   [[nodiscard]] Profiler& profiler() { return profiler_; }
   [[nodiscard]] const Profiler& profiler() const { return profiler_; }
+
+  /// Per-query causal tracer bound to this context (see
+  /// obs/query_trace.h). Off by default; enable with
+  /// query_tracer().set_enabled(true), export via
+  /// query_tracer().to_jsonl / write_jsonl_file.
+  [[nodiscard]] QueryTracer& query_tracer() { return query_tracer_; }
+  [[nodiscard]] const QueryTracer& query_tracer() const {
+    return query_tracer_;
+  }
 
   /// Attach a non-owning sink; the sink must outlive this context (or be
   /// removed first).
@@ -109,6 +119,7 @@ class Telemetry {
 
   MetricsRegistry metrics_;
   Profiler profiler_;
+  QueryTracer query_tracer_;
   std::mutex sink_mutex_;  // serializes emit/flush and sink attach/detach
   std::vector<TraceSink*> sinks_;
   std::atomic<bool> has_sinks_{false};

@@ -1,61 +1,16 @@
 #include "obs/trace_event.h"
 
-#include <cmath>
 #include <cstdio>
-#include <sstream>
+
+#include "core/json_writer.h"
 
 namespace mntp::obs {
 
 std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return core::json_escape(s);
 }
 
 namespace {
-
-/// JSON number rendering: finite doubles via %.17g (round-trippable),
-/// non-finite mapped to null (JSON has no inf/nan).
-void append_json_number(std::string& out, double v) {
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
-
-void append_json_value(std::string& out, const FieldValue& v) {
-  if (const auto* i = std::get_if<std::int64_t>(&v)) {
-    out += std::to_string(*i);
-  } else if (const auto* d = std::get_if<double>(&v)) {
-    append_json_number(out, *d);
-  } else if (const auto* s = std::get_if<std::string>(&v)) {
-    out += '"';
-    out += json_escape(*s);
-    out += '"';
-  } else {
-    out += std::get<bool>(v) ? "true" : "false";
-  }
-}
 
 void append_plain_value(std::string& out, const FieldValue& v) {
   if (const auto* i = std::get_if<std::int64_t>(&v)) {
@@ -76,23 +31,19 @@ void append_plain_value(std::string& out, const FieldValue& v) {
 std::string to_jsonl_line(const TraceEvent& e) {
   std::string out;
   out.reserve(96 + 32 * e.fields.size());
-  out += "{\"type\":\"event\",\"t_ns\":";
-  out += std::to_string(e.t.ns());
-  out += ",\"category\":\"";
-  out += json_escape(e.category);
-  out += "\",\"name\":\"";
-  out += json_escape(e.name);
-  out += "\",\"fields\":{";
-  bool first = true;
+  core::JsonWriter w(out);
+  w.begin_object()
+      .kv("type", "event")
+      .kv("t_ns", e.t.ns())
+      .kv("category", e.category)
+      .kv("name", e.name)
+      .key("fields")
+      .begin_object();
   for (const Field& f : e.fields) {
-    if (!first) out += ',';
-    first = false;
-    out += '"';
-    out += json_escape(f.key);
-    out += "\":";
-    append_json_value(out, f.value);
+    w.key(f.key);
+    std::visit([&](const auto& v) { w.value(v); }, f.value);
   }
-  out += "}}";
+  w.end_object().end_object();
   return out;
 }
 

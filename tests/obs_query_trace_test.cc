@@ -1,0 +1,293 @@
+// Query-tracer tests: lifecycle and latching, store bounds, ambient
+// scoping, JSONL serialization, engine round ownership, the tracing-off
+// bit-identity guarantee, and thread safety under the parallel tuner.
+#include "obs/query_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/rng.h"
+#include "mntp/engine.h"
+#include "mntp/params.h"
+#include "mntp/trace.h"
+#include "mntp/tuner.h"
+#include "obs/telemetry.h"
+
+namespace mntp::obs {
+namespace {
+
+using core::TimePoint;
+
+TimePoint at(std::int64_t ns) { return TimePoint::from_ns(ns); }
+
+TEST(QueryTracer, DisabledMintsNothing) {
+  QueryTracer tracer;  // off by default
+  EXPECT_EQ(tracer.begin(at(1), "round"), 0u);
+  tracer.stage(0, at(2), "gate", Reason::kOk);
+  tracer.finish(0, at(3), Reason::kOk);
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.minted(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(QueryTracer, LifecycleRecordsStagesAndVerdict) {
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  const QueryId round = tracer.begin(at(100), "round");
+  ASSERT_NE(round, 0u);
+  const QueryId exchange = tracer.begin(at(110), "exchange", round);
+  tracer.stage(round, at(105), "gate", Reason::kOk, {{"rssi_dbm", -60.0}});
+  tracer.stage(exchange, at(120), "hop", Reason::kNone,
+               {{"hop", std::string("wifi.up")}});
+  tracer.finish(exchange, at(130), Reason::kOk, {{"offset_ms", 1.5}});
+  tracer.finish(round, at(140), Reason::kAcceptedRegular);
+
+  const auto traces = tracer.snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].id, round);
+  EXPECT_EQ(traces[0].parent, 0u);
+  EXPECT_EQ(traces[0].kind, "round");
+  EXPECT_EQ(traces[0].started, at(100));
+  ASSERT_EQ(traces[0].stages.size(), 2u);
+  EXPECT_EQ(traces[0].stages[0].stage, "gate");
+  EXPECT_EQ(traces[0].stages[1].stage, "verdict");
+  EXPECT_TRUE(traces[0].finished);
+  EXPECT_EQ(traces[0].verdict(), Reason::kAcceptedRegular);
+
+  EXPECT_EQ(traces[1].id, exchange);
+  EXPECT_EQ(traces[1].parent, round);
+  EXPECT_EQ(traces[1].kind, "exchange");
+  EXPECT_EQ(traces[1].verdict(), Reason::kOk);
+}
+
+TEST(QueryTracer, FinishLatchesAgainstStragglers) {
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  const QueryId id = tracer.begin(at(1), "exchange");
+  tracer.finish(id, at(2), Reason::kTimeout);
+  // A reply landing after the timeout verdict records nothing — exactly
+  // what a real client could observe.
+  tracer.stage(id, at(3), "server", Reason::kOk);
+  tracer.finish(id, at(4), Reason::kOk);
+  const auto traces = tracer.snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].stages.size(), 1u);
+  EXPECT_EQ(traces[0].verdict(), Reason::kTimeout);
+}
+
+TEST(QueryTracer, StageCapDropsButVerdictStillLands) {
+  QueryTracer tracer(QueryTracer::Limits{.max_queries = 8,
+                                         .max_stages_per_query = 2});
+  tracer.set_enabled(true);
+  const QueryId id = tracer.begin(at(1), "round");
+  tracer.stage(id, at(2), "a", Reason::kNone);
+  tracer.stage(id, at(3), "b", Reason::kNone);
+  tracer.stage(id, at(4), "c", Reason::kNone);  // over the cap: dropped
+  tracer.finish(id, at(5), Reason::kOk);        // verdict always lands
+  const auto traces = tracer.snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].stages.size(), 3u);
+  EXPECT_EQ(traces[0].stages[2].stage, "verdict");
+  EXPECT_EQ(traces[0].verdict(), Reason::kOk);
+}
+
+TEST(QueryTracer, QueryCapKeepsIdsMonotonicAndCountsDrops) {
+  QueryTracer tracer(QueryTracer::Limits{.max_queries = 2,
+                                         .max_stages_per_query = 8});
+  tracer.set_enabled(true);
+  const QueryId a = tracer.begin(at(1), "round");
+  const QueryId b = tracer.begin(at(2), "round");
+  const QueryId c = tracer.begin(at(3), "round");  // store full
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // ids stay monotonic even when the body is dropped
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.stage(c, at(4), "gate", Reason::kOk);  // silently no-ops
+  tracer.finish(c, at(5), Reason::kOk);
+  EXPECT_EQ(tracer.snapshot().size(), 2u);
+  EXPECT_EQ(tracer.minted(), 3u);
+}
+
+TEST(QueryTracer, AmbientScopeInstallsNestsAndRestores) {
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  EXPECT_EQ(ambient_query().tracer, nullptr);
+  const QueryId outer = tracer.begin(at(1), "round");
+  {
+    ActiveQueryScope outer_scope(tracer, outer);
+    EXPECT_EQ(ambient_query().tracer, &tracer);
+    EXPECT_EQ(ambient_query().id, outer);
+    {
+      // id 0 installs "no ambient", so callers can wrap unconditionally.
+      ActiveQueryScope inner_scope(tracer, 0);
+      EXPECT_EQ(ambient_query().tracer, nullptr);
+      EXPECT_EQ(ambient_query().id, 0u);
+    }
+    EXPECT_EQ(ambient_query().id, outer);
+  }
+  EXPECT_EQ(ambient_query().tracer, nullptr);
+}
+
+TEST(QueryTracer, JsonlSerializesMetaAndTypedFields) {
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  const QueryId id = tracer.begin(at(1'000'000'000), "round");
+  tracer.stage(id, at(2'000'000'000), "gate", Reason::kChannelDefer,
+               {{"rssi_dbm", -78.5},
+                {"retries", std::int64_t{3}},
+                {"hop", std::string("wifi.up")},
+                {"exhausted", true}});
+  tracer.finish(id, at(3'000'000'000), Reason::kChannelDefer,
+                {{"phase", std::string("warmup")}});
+
+  const std::string jsonl = tracer.to_jsonl("test_run", at(4'000'000'000));
+  std::istringstream stream(jsonl);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(stream, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+
+  const auto meta = core::Json::parse(lines[0]);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value()["type"].as_string(), "meta");
+  EXPECT_EQ(meta.value()["kind"].as_string(), "mntp_query_trace");
+  EXPECT_EQ(meta.value()["schema_version"].as_int(), 1);
+  EXPECT_EQ(meta.value()["run"].as_string(), "test_run");
+  EXPECT_EQ(meta.value()["sim_end_ns"].as_int(), 4'000'000'000);
+  EXPECT_EQ(meta.value()["query_count"].as_int(), 1);
+  EXPECT_EQ(meta.value()["dropped"].as_int(), 0);
+
+  const auto query = core::Json::parse(lines[1]);
+  ASSERT_TRUE(query.ok());
+  const core::Json& q = query.value();
+  EXPECT_EQ(q["type"].as_string(), "query");
+  EXPECT_EQ(q["id"].as_int(), static_cast<std::int64_t>(id));
+  EXPECT_EQ(q["parent"].as_int(), 0);
+  EXPECT_EQ(q["kind"].as_string(), "round");
+  EXPECT_EQ(q["start_ns"].as_int(), 1'000'000'000);
+  ASSERT_EQ(q["stages"].as_array().size(), 2u);
+  const core::Json& gate = q["stages"].as_array()[0];
+  EXPECT_EQ(gate["t_ns"].as_int(), 2'000'000'000);
+  EXPECT_EQ(gate["stage"].as_string(), "gate");
+  EXPECT_EQ(gate["reason"].as_string(), "channel_defer");
+  EXPECT_DOUBLE_EQ(gate["fields"]["rssi_dbm"].as_double(), -78.5);
+  EXPECT_EQ(gate["fields"]["retries"].as_int(), 3);
+  EXPECT_EQ(gate["fields"]["hop"].as_string(), "wifi.up");
+  EXPECT_TRUE(gate["fields"]["exhausted"].as_bool());
+  const core::Json& verdict = q["stages"].as_array()[1];
+  EXPECT_EQ(verdict["stage"].as_string(), "verdict");
+  EXPECT_EQ(verdict["reason"].as_string(), "channel_defer");
+}
+
+TEST(QueryTracer, EngineMintsOwnRoundWithoutAmbientDriver) {
+  // Direct engine drivers (the tuner's emulator) install no ambient
+  // round; with tracing on the engine mints one itself so every round
+  // still gets a verdict.
+  Telemetry telemetry;
+  ScopedTelemetry scope(telemetry);
+  telemetry.query_tracer().set_enabled(true);
+  protocol::MntpEngine engine(protocol::head_to_head_params(),
+                              TimePoint::epoch());
+  (void)engine.on_round(at(5'000'000'000), {0.002});
+  (void)engine.on_round(at(10'000'000'000), {});
+
+  const auto traces = telemetry.query_tracer().snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].kind, "round");
+  EXPECT_TRUE(traces[0].finished);
+  // First sample bootstraps the filter: accepted in the regular phase
+  // (head-to-head params skip warm-up).
+  EXPECT_EQ(traces[0].verdict(), Reason::kAcceptedRegular);
+  // A round with no surviving offsets closes as no_samples.
+  EXPECT_EQ(traces[1].verdict(), Reason::kNoSamples);
+}
+
+TEST(QueryTracer, EngineOutputBitIdenticalTracingOnOrOff) {
+  // The tracer only observes: every engine decision, record, and double
+  // must match bit-for-bit between a traced and an untraced run.
+  auto run = [](bool tracing) {
+    Telemetry telemetry;
+    ScopedTelemetry scope(telemetry);
+    telemetry.query_tracer().set_enabled(tracing);
+    protocol::MntpEngine engine(protocol::MntpParams{}, TimePoint::epoch());
+    core::Rng rng(42);
+    for (int i = 1; i <= 200; ++i) {
+      std::vector<double> offsets;
+      for (std::size_t k = rng.index(4); k-- > 0;) {
+        offsets.push_back(rng.normal(0.0, 0.01));
+      }
+      (void)engine.on_round(at(static_cast<std::int64_t>(i) * 15'000'000'000),
+                            offsets);
+    }
+    return engine.records();
+  };
+
+  const auto off = run(false);
+  const auto on = run(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].t, on[i].t) << "record " << i;
+    EXPECT_EQ(off[i].offset_s, on[i].offset_s) << "record " << i;
+    EXPECT_EQ(off[i].corrected_s, on[i].corrected_s) << "record " << i;
+    EXPECT_EQ(off[i].outcome, on[i].outcome) << "record " << i;
+    EXPECT_EQ(off[i].phase, on[i].phase) << "record " << i;
+    EXPECT_EQ(off[i].bootstrap, on[i].bootstrap) << "record " << i;
+  }
+}
+
+// A "recorded" trace with deterministic variation for tuner replays.
+protocol::Trace make_noisy_trace(std::size_t n) {
+  protocol::Trace t;
+  core::Rng rng(77);
+  for (std::size_t i = 0; i < n; ++i) {
+    protocol::TraceRecord r;
+    r.t_s = static_cast<double>(i) * 5.0;
+    r.rssi_dbm = rng.uniform(-85.0, -55.0);
+    r.noise_dbm = rng.uniform(-95.0, -70.0);
+    for (std::size_t j = rng.index(4); j-- > 0;) {
+      r.offsets_s.push_back(rng.normal(0.0, 0.01));
+    }
+    t.records.push_back(std::move(r));
+  }
+  return t;
+}
+
+TEST(QueryTracer, ParallelTunerSearchTracesSafelyAndIdentically) {
+  // Every replayed round appends to the shared bounded store from a
+  // worker thread; the search result must stay bit-identical to the
+  // serial run and the store must stay consistent (this test doubles as
+  // the TSan exercise wired in tests/CMakeLists.txt).
+  const protocol::Trace trace = make_noisy_trace(720);
+  protocol::tuner::SearchSpace space;
+  space.warmup_periods = {core::Duration::minutes(30)};
+  space.warmup_wait_times = {core::Duration::seconds(15)};
+  space.regular_wait_times = {core::Duration::minutes(5),
+                              core::Duration::minutes(15)};
+  space.reset_periods = {core::Duration::hours(4)};
+
+  auto run = [&](std::size_t threads) {
+    Telemetry telemetry;
+    ScopedTelemetry scope(telemetry);
+    telemetry.query_tracer().set_enabled(true);
+    auto entries = protocol::tuner::search(trace, space, {.threads = threads});
+    const auto traces = telemetry.query_tracer().snapshot();
+    return std::make_pair(std::move(entries), traces.size());
+  };
+
+  const auto [serial, serial_traces] = run(1);
+  const auto [parallel, parallel_traces] = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].rmse_ms, parallel[i].rmse_ms) << "entry " << i;
+    EXPECT_EQ(serial[i].requests, parallel[i].requests) << "entry " << i;
+  }
+  // Same replays → same number of minted rounds, whatever the schedule.
+  EXPECT_GT(serial_traces, 0u);
+  EXPECT_EQ(serial_traces, parallel_traces);
+}
+
+}  // namespace
+}  // namespace mntp::obs

@@ -38,6 +38,9 @@ namespace {
 struct Options {
   double sigma = 4.0;        // anomaly threshold, in trend-residual sigmas
   std::size_t max_rows = 20; // cap for anomaly listings
+  bool explain = false;      // print per-query timelines for query traces
+  long long query_id = -1;   // explain a single query (-1: first --limit)
+  std::size_t limit = 10;    // timelines shown in explain mode
 };
 
 std::string format_labels(const Json& labels) {
@@ -202,6 +205,192 @@ int inspect_report(const std::string& path,
   return 0;
 }
 
+// ----------------------------------------------------------- query trace
+
+/// One decoded {"type":"query"} line.
+struct TraceRow {
+  long long id = 0;
+  long long parent = 0;
+  std::string kind;
+  double start_s = 0.0;
+  Json stages;  // array
+};
+
+std::string format_stage_fields(const Json& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields.as_object()) {
+    if (!out.empty()) out += "  ";
+    out += key + "=";
+    if (value.is_string()) {
+      out += value.as_string();
+    } else if (value.is_bool()) {
+      out += value.as_bool() ? "true" : "false";
+    } else if (value.is_int()) {
+      out += mntp::core::strformat("%lld",
+                                   static_cast<long long>(value.as_int()));
+    } else {
+      out += mntp::core::strformat("%g", value.as_double());
+    }
+  }
+  return out;
+}
+
+/// The terminal ("verdict") stage of a query, or a null Json.
+const Json* verdict_stage(const TraceRow& q) {
+  const auto& stages = q.stages.as_array();
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+    if ((*it)["stage"].as_string() == "verdict") return &*it;
+  }
+  return nullptr;
+}
+
+void print_timeline(const TraceRow& q,
+                    const std::vector<const TraceRow*>& children,
+                    int indent) {
+  const Json* verdict = verdict_stage(q);
+  std::printf("%*squery #%lld (%s) start t=%.3fs  verdict=%s\n", indent, "",
+              q.id, q.kind.c_str(), q.start_s,
+              verdict ? (*verdict)["reason"].as_string().c_str() : "none");
+  for (const Json& s : q.stages.as_array()) {
+    const double dt =
+        static_cast<double>(s["t_ns"].as_int()) / 1e9 - q.start_s;
+    const std::string& reason = s["reason"].as_string();
+    std::printf("%*s  +%8.3fs  %-16s %-18s %s\n", indent, "", dt,
+                s["stage"].as_string().c_str(),
+                reason == "none" ? "" : reason.c_str(),
+                format_stage_fields(s["fields"]).c_str());
+  }
+  for (const TraceRow* child : children) {
+    print_timeline(*child, {}, indent + 4);
+  }
+}
+
+int inspect_query_trace(const std::string& path,
+                        const std::vector<std::string>& lines,
+                        const Options& opt) {
+  std::vector<TraceRow> queries;
+  std::string run;
+  double sim_end_s = 0.0;
+  long long dropped = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    auto parsed = Json::parse(lines[i]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), i + 1,
+                   parsed.error().message.c_str());
+      return 1;
+    }
+    const Json line = parsed.value();
+    const std::string& type = line["type"].as_string();
+    if (type == "meta") {
+      run = line["run"].as_string();
+      sim_end_s = static_cast<double>(line["sim_end_ns"].as_int()) / 1e9;
+      dropped = line["dropped"].as_int();
+    } else if (type == "query") {
+      TraceRow q;
+      q.id = line["id"].as_int();
+      q.parent = line["parent"].as_int();
+      q.kind = line["kind"].as_string();
+      q.start_s = static_cast<double>(line["start_ns"].as_int()) / 1e9;
+      q.stages = line["stages"];
+      queries.push_back(std::move(q));
+    }
+  }
+  std::printf("query trace: %s\n  run=%s  sim_end=%.1fs  %zu queries stored"
+              " (%lld dropped)\n",
+              path.c_str(), run.c_str(), sim_end_s, queries.size(), dropped);
+
+  // Aggregate causation: every query's fate, bucketed by kind and
+  // verdict reason; for round verdicts also by decision phase, so the
+  // table reconciles against the mntp.sample outcome counters.
+  std::map<std::string, std::size_t> verdicts;       // "kind/reason"
+  std::map<std::string, std::size_t> round_phases;   // "phase/reason"
+  std::map<std::string, std::size_t> loss_by_hop;    // hop name
+  for (const TraceRow& q : queries) {
+    const Json* verdict = verdict_stage(q);
+    const std::string reason =
+        verdict ? (*verdict)["reason"].as_string() : "unfinished";
+    ++verdicts[q.kind + "/" + reason];
+    if (q.kind == "round" && verdict && (*verdict)["fields"].has("phase")) {
+      ++round_phases[(*verdict)["fields"]["phase"].as_string() + "/" + reason];
+    }
+    for (const Json& s : q.stages.as_array()) {
+      if (s["stage"].as_string() == "loss") {
+        // The link walker records the hop index as an integer; channel
+        // models may name hops with a string instead.
+        const Json& hop = s["fields"]["hop"];
+        ++loss_by_hop[hop.is_string()
+                          ? hop.as_string()
+                          : std::to_string(static_cast<long long>(hop.as_int()))];
+      }
+    }
+  }
+  if (!verdicts.empty()) {
+    mntp::core::TextTable table({"kind", "verdict", "count"});
+    for (const auto& [key, n] : verdicts) {
+      const auto slash = key.find('/');
+      table.add_row({key.substr(0, slash), key.substr(slash + 1),
+                     mntp::core::fmt_count(n)});
+    }
+    std::printf("\ncausation (verdicts by kind and reason):\n%s\n",
+                table.render().c_str());
+  }
+  if (!round_phases.empty()) {
+    mntp::core::TextTable table({"phase", "verdict", "count"});
+    for (const auto& [key, n] : round_phases) {
+      const auto slash = key.find('/');
+      table.add_row({key.substr(0, slash), key.substr(slash + 1),
+                     mntp::core::fmt_count(n)});
+    }
+    std::printf("round verdicts by decision phase:\n%s\n",
+                table.render().c_str());
+  }
+  if (!loss_by_hop.empty()) {
+    mntp::core::TextTable table({"hop", "losses"});
+    for (const auto& [hop, n] : loss_by_hop) {
+      table.add_row({hop, mntp::core::fmt_count(n)});
+    }
+    std::printf("packet loss by hop:\n%s\n", table.render().c_str());
+  }
+
+  if (!opt.explain) return 0;
+
+  // Per-query timelines: roots (rounds and orphan exchanges) with their
+  // child exchanges nested underneath.
+  std::map<long long, std::vector<const TraceRow*>> children;
+  for (const TraceRow& q : queries) {
+    if (q.parent != 0) children[q.parent].push_back(&q);
+  }
+  std::size_t shown = 0;
+  bool found = false;
+  for (const TraceRow& q : queries) {
+    if (opt.query_id >= 0) {
+      if (q.id != opt.query_id) continue;
+      found = true;
+    } else {
+      if (q.parent != 0) continue;  // roots only in the default listing
+      if (shown >= opt.limit) {
+        std::printf("  ... %s\n", "more queries elided (raise --limit or "
+                                  "pick one with --query <id>)");
+        break;
+      }
+    }
+    std::printf("\n");
+    auto it = children.find(q.id);
+    print_timeline(q, it == children.end() ? std::vector<const TraceRow*>{}
+                                           : it->second,
+                   2);
+    ++shown;
+    if (opt.query_id >= 0) break;
+  }
+  if (opt.query_id >= 0 && !found) {
+    std::fprintf(stderr, "mntp-inspect: query #%lld not in %s\n",
+                 opt.query_id, path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 // --------------------------------------------------------------- profile
 
 int inspect_profile(const std::string& path, const Json& doc) {
@@ -311,12 +500,15 @@ int inspect_file(const std::string& path, const Options& opt) {
   if (!lines.empty()) {
     if (auto first = Json::parse(lines.front());
         first.ok() && first.value()["type"].as_string() == "meta") {
+      if (first.value()["kind"].as_string() == "mntp_query_trace") {
+        return inspect_query_trace(path, lines, opt);
+      }
       return inspect_report(path, lines, opt);
     }
   }
   std::fprintf(stderr,
-               "mntp-inspect: %s: not a run report, span profile or "
-               "perf-suite result\n",
+               "mntp-inspect: %s: not a run report, span profile, "
+               "perf-suite result or query trace\n",
                path.c_str());
   return 1;
 }
@@ -328,14 +520,31 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--sigma" && i + 1 < argc) {
+    if (arg == "explain" && paths.empty() && !opt.explain) {
+      // Subcommand: per-query timelines on top of the causation tables.
+      opt.explain = true;
+    } else if (arg == "--sigma" && i + 1 < argc) {
       opt.sigma = std::atof(argv[++i]);
     } else if (arg.rfind("--sigma=", 0) == 0) {
       opt.sigma = std::atof(arg.c_str() + std::strlen("--sigma="));
+    } else if (arg == "--query" && i + 1 < argc) {
+      opt.query_id = std::atoll(argv[++i]);
+    } else if (arg.rfind("--query=", 0) == 0) {
+      opt.query_id = std::atoll(arg.c_str() + std::strlen("--query="));
+    } else if (arg == "--limit" && i + 1 < argc) {
+      opt.limit = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      opt.limit = static_cast<std::size_t>(
+          std::atoll(arg.c_str() + std::strlen("--limit=")));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: mntp-inspect [--sigma N] <file>...\n"
-                  "  summarizes JSONL run reports, Chrome span profiles and\n"
-                  "  BENCH_results.json files (kind detected from content)\n");
+      std::printf(
+          "usage: mntp-inspect [--sigma N] <file>...\n"
+          "       mntp-inspect explain [--query ID] [--limit N] <trace>...\n"
+          "  summarizes JSONL run reports, Chrome span profiles,\n"
+          "  BENCH_results.json files and query-trace JSONL (kind detected\n"
+          "  from content). `explain` adds per-query causal timelines for\n"
+          "  query traces (--query-trace-out artifacts).\n"
+          "  exit codes: 0 ok, 1 unreadable/unrecognized artifact, 2 usage\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "mntp-inspect: unknown flag %s\n", arg.c_str());
@@ -345,11 +554,17 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: mntp-inspect [--sigma N] <file>...\n");
+    std::fprintf(stderr,
+                 "usage: mntp-inspect [explain] [--sigma N] [--query ID] "
+                 "[--limit N] <file>...\n");
     return 2;
   }
   if (opt.sigma <= 0.0) {
     std::fprintf(stderr, "mntp-inspect: --sigma must be > 0\n");
+    return 2;
+  }
+  if (opt.query_id >= 0 && !opt.explain) {
+    std::fprintf(stderr, "mntp-inspect: --query requires the explain mode\n");
     return 2;
   }
   int status = 0;
