@@ -1,11 +1,13 @@
 #include "common.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "core/format.h"
 #include "core/thread_pool.h"
 
 namespace mntp::bench {
@@ -172,6 +174,30 @@ std::size_t parse_size_flag(int argc, char** argv, const char* flag,
   const unsigned long n = std::strtoul(value.c_str(), &end, 10);
   if (end == value.c_str() || *end != '\0') return def;
   return static_cast<std::size_t>(n);
+}
+
+ReplicateCli parse_replicate_cli(int argc, char** argv) {
+  ReplicateCli cli;
+  cli.replicates =
+      std::max<std::size_t>(1, parse_size_flag(argc, argv, "--replicates", 1));
+  cli.threads = parse_threads(argc, argv, 1);
+  return cli;
+}
+
+void print_replicate_report(const sim::ReplicateReport& report) {
+  std::printf("\n== replication: %zu seeds from base %llu ==\n",
+              report.replicates,
+              static_cast<unsigned long long>(report.base_seed));
+  core::TextTable table(
+      {"metric", "median", "mean", "sd", "min", "max"});
+  for (const sim::ReplicatedMetric& m : report.metrics) {
+    table.add_row({m.name, core::strformat("%.3f", m.summary.median),
+                   core::strformat("%.3f", m.summary.mean),
+                   core::strformat("%.3f", m.summary.stddev),
+                   core::strformat("%.3f", m.summary.min),
+                   core::strformat("%.3f", m.summary.max)});
+  }
+  std::printf("%s", table.render().c_str());
 }
 
 std::size_t parse_threads(int argc, char** argv, std::size_t def) {

@@ -23,6 +23,7 @@
 #include "obs/report.h"
 #include "obs/telemetry.h"
 #include "obs/trace_event.h"
+#include "sim/replicate.h"
 
 namespace mntp::bench {
 
@@ -112,6 +113,19 @@ void split_engine_records(const protocol::MntpEngine& engine, Series* accepted,
 /// Parse `--threads N` (or `--threads=N`) from argv; `def` when absent
 /// or malformed. 0 means "one worker per hardware thread".
 std::size_t parse_threads(int argc, char** argv, std::size_t def = 1);
+
+/// `--replicates K --threads N` for the multi-seed benches. replicates
+/// defaults to 1 (the original single-seed experiment, bit for bit);
+/// threads defaults to 1 (exact serial path).
+struct ReplicateCli {
+  std::size_t replicates = 1;
+  std::size_t threads = 1;
+};
+ReplicateCli parse_replicate_cli(int argc, char** argv);
+
+/// Print a replicate report as an aggregate table (one row per metric:
+/// median / mean / stddev / min / max across replicates).
+void print_replicate_report(const sim::ReplicateReport& report);
 
 /// Parse `--<flag> value` / `--<flag>=value` from argv (last occurrence
 /// wins); empty string when absent. `flag` includes the leading dashes.

@@ -14,7 +14,9 @@
 // quantified: GPS is accurate but energy-hungry and availability-bound;
 // NTP is tight but chatty; MNTP approaches NTP accuracy at a fraction of
 // the traffic.
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "common.h"
 #include "device/energy.h"
@@ -30,9 +32,10 @@ constexpr std::uint64_t kSeed = 777;
 const core::Duration kSpan = core::Duration::hours(6);
 const core::Duration kSampleEvery = core::Duration::seconds(30);
 
-ntp::TestbedConfig base_config(bool ntp_correction) {
+ntp::TestbedConfig base_config(bool ntp_correction,
+                               std::uint64_t seed = kSeed) {
   ntp::TestbedConfig config;
-  config.seed = kSeed;
+  config.seed = seed;
   config.wireless = true;
   config.ntp_correction = ntp_correction;
   // Phone-grade oscillator (worse than the laptop default).
@@ -74,8 +77,8 @@ std::vector<double> drive(ntp::Testbed& bed, StepFn&& per_step) {
   return errors;
 }
 
-Outcome run_sntp() {
-  ntp::Testbed bed(base_config(false));
+Outcome run_sntp(std::uint64_t seed = kSeed) {
+  ntp::Testbed bed(base_config(false, seed));
   ntp::SntpClientPolicy policy;
   policy.poll_interval = core::Duration::seconds(64);
   policy.update_clock = true;  // raw SNTP semantics: trust every sample
@@ -95,8 +98,8 @@ Outcome run_sntp() {
   return o;
 }
 
-Outcome run_ntp() {
-  ntp::Testbed bed(base_config(true));  // testbed runs the reference client
+Outcome run_ntp(std::uint64_t seed = kSeed) {
+  ntp::Testbed bed(base_config(true, seed));  // testbed runs the reference client
   device::EnergyAccountant energy;
   bed.start();
   std::size_t rounds = 0;
@@ -116,8 +119,8 @@ Outcome run_ntp() {
   return o;
 }
 
-Outcome run_mntp() {
-  ntp::Testbed bed(base_config(false));
+Outcome run_mntp(std::uint64_t seed = kSeed) {
+  ntp::Testbed bed(base_config(false, seed));
   protocol::MntpParams params;
   params.warmup_period = core::Duration::minutes(15);
   params.warmup_wait_time = core::Duration::seconds(15);
@@ -140,8 +143,8 @@ Outcome run_mntp() {
   return o;
 }
 
-Outcome run_gps() {
-  ntp::Testbed bed(base_config(false));
+Outcome run_gps(std::uint64_t seed = kSeed) {
+  ntp::Testbed bed(base_config(false, seed));
   device::GpsParams gps_params;  // urban availability defaults
   device::GpsTimeSource gps(bed.sim(), bed.target_clock(), gps_params,
                             bed.fork_rng());
@@ -155,10 +158,64 @@ Outcome run_gps() {
   return o;
 }
 
+/// One replicate for the multi-seed mode: all four strategies on the
+/// same derived seed, flattened to strategy-prefixed metrics.
+std::vector<mntp::sim::MetricValue> run_replicate(std::uint64_t seed) {
+  const Outcome outcomes[] = {run_sntp(seed), run_ntp(seed), run_mntp(seed),
+                              run_gps(seed)};
+  const char* prefixes[] = {"sntp", "ntp", "mntp", "gps"};
+  std::vector<mntp::sim::MetricValue> metrics;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Outcome& o = outcomes[i];
+    const std::string p = prefixes[i];
+    metrics.push_back({p + ".mean_err_ms", o.abs_error_ms.mean});
+    metrics.push_back({p + ".p90_err_ms", o.abs_error_ms.p90});
+    metrics.push_back({p + ".worst_ms", o.worst_ms});
+    metrics.push_back({p + ".requests", static_cast<double>(o.requests)});
+    metrics.push_back({p + ".energy_j", o.energy_j});
+  }
+  return metrics;
+}
+
+/// Multi-seed mode (`--replicates K --threads N`): the single-run shape
+/// checks, applied to medians across K independent realizations.
+int run_replicated(const mntp::bench::ReplicateCli& cli) {
+  using mntp::sim::ReplicateReport;
+  mntp::sim::ReplicationRunner runner({cli.replicates, cli.threads});
+  const ReplicateReport report =
+      runner.run(kSeed, [](std::uint64_t seed, std::size_t) {
+        return run_replicate(seed);
+      });
+  mntp::bench::print_replicate_report(report);
+
+  mntp::bench::Checks checks;
+  checks.expect(report.median("ntp.mean_err_ms") <
+                    report.median("sntp.mean_err_ms"),
+                "reference NTP beats raw SNTP on accuracy (medians)");
+  checks.expect(report.median("mntp.mean_err_ms") <
+                    report.median("sntp.mean_err_ms") / 2.0,
+                "MNTP far more accurate than raw SNTP (medians)");
+  checks.expect(report.median("mntp.requests") <
+                    report.median("ntp.requests") / 2.0,
+                "MNTP needs a fraction of NTP's traffic (medians)");
+  checks.expect(report.median("mntp.energy_j") <
+                    report.median("ntp.energy_j") / 2.0,
+                "MNTP burns a fraction of NTP's radio energy (medians)");
+  checks.expect(report.median("mntp.p90_err_ms") <
+                    report.median("ntp.p90_err_ms") * 4.0,
+                "MNTP accuracy in NTP's neighbourhood (medians)");
+  checks.expect(report.median("gps.worst_ms") > report.median("mntp.worst_ms"),
+                "duty-cycled GPS pays in worst-case error (medians)");
+  return checks.finish("Three-way comparison (+GPS, replicated)");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Extension: SNTP vs NTP vs MNTP vs GPS (6 h, same channel) ==\n");
+  const mntp::bench::ReplicateCli cli =
+      mntp::bench::parse_replicate_cli(argc, argv);
+  if (cli.replicates > 1) return run_replicated(cli);
   const Outcome outcomes[] = {run_sntp(), run_ntp(), run_mntp(), run_gps()};
 
   core::TextTable table({"Strategy", "mean|err|(ms)", "p90|err|(ms)",

@@ -6,11 +6,59 @@
 // Paper numbers: SNTP offsets as high as 392 ms; MNTP's corrected drift
 // values always below 20 ms; the drift trend line is clearly visible and
 // large offsets are rejected by the filter.
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "common.h"
 
 using namespace mntp;
+
+namespace {
+
+/// One replicate of the 4-hour scenario, reduced to its shape metrics.
+std::vector<mntp::sim::MetricValue> run_replicate(ntp::TestbedConfig config,
+                                                  std::uint64_t seed) {
+  config.seed = seed;
+  const bench::HeadToHead r = bench::run_head_to_head(
+      config, protocol::head_to_head_params(), core::Duration::hours(4));
+  return {
+      {"sntp_max_abs_ms", core::max_abs(r.sntp.offsets_ms)},
+      {"corrected_max_ms", core::max_abs(r.mntp.corrected_ms)},
+      {"rejections", static_cast<double>(r.mntp.rejected_ms.size())},
+      {"deferrals", static_cast<double>(r.mntp.deferrals)},
+      {"has_drift", r.mntp.has_drift ? 1.0 : 0.0},
+      {"drift_ppm", r.mntp.has_drift ? r.mntp.drift_ppm : 0.0},
+      {"final_clock_offset_ms", r.mntp.final_clock_offset_ms},
+  };
+}
+
+/// Multi-seed mode (`--replicates K --threads N`); the K=1 path below is
+/// the untouched single-seed experiment.
+int run_replicated(const ntp::TestbedConfig& config,
+                   const bench::ReplicateCli& cli,
+                   bench::BenchTelemetry& telemetry) {
+  sim::ReplicationRunner runner({cli.replicates, cli.threads});
+  const sim::ReplicateReport report =
+      runner.run(config.seed, [&](std::uint64_t seed, std::size_t) {
+        return run_replicate(config, seed);
+      });
+  bench::print_replicate_report(report);
+
+  bench::Checks checks;
+  checks.expect(report.median("sntp_max_abs_ms") > 200.0,
+                "median SNTP max offset in the hundreds of ms (paper: 392)");
+  checks.expect(report.median("corrected_max_ms") < 30.0,
+                "median MNTP corrected drift below tens of ms (paper: <20)");
+  checks.expect(report.median("rejections") > 0.0,
+                "filter rejects large offsets over the long run (median)");
+  int failures = checks.finish("Figure 12 (replicated)");
+  if (!telemetry.finalize(core::TimePoint::epoch() + core::Duration::hours(4)))
+    ++failures;
+  return failures;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchTelemetry telemetry("fig12_long_run", argc, argv);
@@ -19,6 +67,9 @@ int main(int argc, char** argv) {
   config.seed = 12;
   config.wireless = true;
   config.ntp_correction = false;
+
+  const bench::ReplicateCli cli = bench::parse_replicate_cli(argc, argv);
+  if (cli.replicates > 1) return run_replicated(config, cli, telemetry);
 
   const bench::HeadToHead r = bench::run_head_to_head(
       config, protocol::head_to_head_params(), core::Duration::hours(4));

@@ -2,6 +2,7 @@
 // implementation exercises per packet/sample, plus simulation throughput.
 #include <benchmark/benchmark.h>
 
+#include "core/fixed_function.h"
 #include "core/linreg.h"
 #include "core/rng.h"
 #include "mntp/drift_filter.h"
@@ -17,6 +18,7 @@
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace_event.h"
+#include "sim/event_queue.h"
 
 using namespace mntp;
 
@@ -361,6 +363,55 @@ BENCHMARK(BM_TunerSearch)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+// Event-core primitives: the slab/heap kernel's per-event cost with no
+// payload. Schedule+fire is the dominant simulation operation; the slab
+// recycles one slot per iteration so steady state is allocation-free.
+void BM_EventScheduleFire(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::uint64_t fired = 0;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 1'000;
+    queue.schedule(core::TimePoint::from_ns(t), [&fired] { ++fired; });
+    queue.run_next();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void BM_EventCancelPending(benchmark::State& state) {
+  // Schedule + cancel: slot release plus one heap tombstone per
+  // iteration; the periodic drain pays the purge/compaction cost.
+  sim::EventQueue queue;
+  std::uint64_t fired = 0;
+  std::int64_t t = 0;
+  int batch = 0;
+  for (auto _ : state) {
+    t += 1'000;
+    sim::EventHandle h =
+        queue.schedule(core::TimePoint::from_ns(t), [&fired] { ++fired; });
+    h.cancel();
+    if (++batch == 1024) {
+      batch = 0;
+      while (!queue.empty()) queue.run_next();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventCancelPending);
+
+void BM_FixedFunctionCall(benchmark::State& state) {
+  // Invocation through the type-erased inline callable (the ops-table
+  // indirect call an event dispatch pays), vs ~2x this for std::function.
+  std::uint64_t count = 0;
+  core::FixedFunction<void()> fn([&count] { ++count; });
+  for (auto _ : state) {
+    fn();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_FixedFunctionCall);
 
 void BM_LogGeneration(benchmark::State& state) {
   // One mid-size server (JW2, ~36k clients at 1:100) per iteration.

@@ -193,6 +193,59 @@ std::vector<Workload> build_workloads() {
     sim.run();
   }});
 
+  // Slab + heap under cancellation pressure: schedule 50k far-out
+  // timers, cancel three quarters of them (exercising tombstone purge
+  // and compaction), then drain the survivors plus 50k short chains.
+  workloads.push_back({"event_schedule_cancel", [] {
+    sim::Simulation sim;
+    core::Rng rng(13);
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(50'000);
+    static volatile std::size_t sink;
+    std::size_t fired = 0;
+    for (int i = 0; i < 50'000; ++i) {
+      handles.push_back(
+          sim.after(core::Duration::from_millis(rng.uniform(100.0, 200.0)),
+                    [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (i % 4 != 0) handles[i].cancel();
+    }
+    std::function<void()> tick = [&] {
+      if (++fired >= 62'500) return;
+      sim.after(core::Duration::from_millis(rng.uniform(0.1, 10.0)),
+                [&] { tick(); });
+    };
+    sim.after(core::Duration::from_millis(0.5), [&] { tick(); });
+    sim.run();
+    sink = fired;
+  }});
+
+  // Replication harness: fan 16 small engine scenarios out over 4 pool
+  // threads — measures per-replicate dispatch + aggregation overhead on
+  // top of the scenario cost.
+  workloads.push_back({"replicate_fanout", [] {
+    sim::ReplicationRunner runner({.replicates = 16, .threads = 4});
+    const sim::ReplicateReport report = runner.run(
+        99, [](std::uint64_t seed, std::size_t) {
+          protocol::MntpEngine engine(protocol::head_to_head_params(),
+                                      core::TimePoint::epoch());
+          core::Rng rng(seed);
+          std::int64_t t = 0;
+          std::vector<double> offsets(1);
+          for (int i = 0; i < 2'000; ++i) {
+            t += 5'000'000'000;
+            offsets[0] = rng.normal(0, 0.003);
+            engine.on_round(core::TimePoint::from_ns(t), offsets);
+          }
+          return std::vector<sim::MetricValue>{
+              {"accepted", static_cast<double>(
+                               engine.accepted_offsets_ms().size())}};
+        });
+    static volatile std::size_t sink;
+    sink = static_cast<std::size_t>(report.median("accepted"));
+  }});
+
   return workloads;
 }
 

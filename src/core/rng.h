@@ -14,6 +14,16 @@
 
 namespace mntp::core {
 
+/// splitmix64 finalizer (Vigna): a single avalanching mix step. Used to
+/// derive statistically independent seeds from structured inputs like
+/// (base_seed, replicate_index) — sequential indices land far apart.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

@@ -58,14 +58,26 @@ Telemetry*& Telemetry::global_slot() {
 
 Telemetry& Telemetry::global() { return *global_slot(); }
 
+SpanHistograms resolve_span_histograms(Telemetry& telemetry,
+                                       std::string_view name) {
+  return SpanHistograms{
+      .wall_us = telemetry.metrics().histogram(
+          std::string(name) + ".wall_us",
+          HistogramOptions::exponential(1.0, 4.0, 12)),
+      .sim_ms = telemetry.metrics().histogram(
+          std::string(name) + ".sim_ms",
+          HistogramOptions::exponential(1.0, 4.0, 14)),
+  };
+}
+
 SpanTimer::SpanTimer(Telemetry& telemetry, std::string_view name,
                      core::TimePoint sim_start)
-    : wall_us_(telemetry.metrics().histogram(
-          std::string(name) + ".wall_us",
-          HistogramOptions::exponential(1.0, 4.0, 12))),
-      sim_ms_(telemetry.metrics().histogram(
-          std::string(name) + ".sim_ms",
-          HistogramOptions::exponential(1.0, 4.0, 14))),
+    : SpanTimer(resolve_span_histograms(telemetry, name), sim_start) {}
+
+SpanTimer::SpanTimer(const SpanHistograms& histograms,
+                     core::TimePoint sim_start)
+    : wall_us_(histograms.wall_us),
+      sim_ms_(histograms.sim_ms),
       sim_start_(sim_start),
       wall_start_(std::chrono::steady_clock::now()) {}
 

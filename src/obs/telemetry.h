@@ -147,10 +147,26 @@ class ScopedTelemetry {
 /// `<name>.sim_ms`. Wall time is recorded on destruction; sim time only
 /// if finish() supplied the end instant (the span cannot read the
 /// simulation clock itself).
+/// The two histograms a SpanTimer records into, pre-resolved. Hot loops
+/// (the simulation dispatch path) resolve once and construct SpanTimers
+/// from the handles, skipping the per-call name concatenation + registry
+/// lookup (two string allocations per span otherwise).
+struct SpanHistograms {
+  Histogram* wall_us = nullptr;
+  Histogram* sim_ms = nullptr;
+};
+
+/// Resolve `<name>.wall_us` / `<name>.sim_ms` in `telemetry`'s registry
+/// with SpanTimer's standard buckets.
+[[nodiscard]] SpanHistograms resolve_span_histograms(Telemetry& telemetry,
+                                                     std::string_view name);
+
 class SpanTimer {
  public:
   SpanTimer(Telemetry& telemetry, std::string_view name,
             core::TimePoint sim_start);
+  /// Allocation-free: record into already-resolved histograms.
+  SpanTimer(const SpanHistograms& histograms, core::TimePoint sim_start);
   ~SpanTimer();
   SpanTimer(const SpanTimer&) = delete;
   SpanTimer& operator=(const SpanTimer&) = delete;

@@ -26,16 +26,19 @@ class Simulation {
   [[nodiscard]] core::TimePoint now() const { return now_; }
 
   /// Schedule at an absolute instant; instants in the past fire
-  /// immediately on the next run step (clamped to now).
-  EventHandle at(core::TimePoint when, EventQueue::Action action) {
+  /// immediately on the next run step (clamped to now). The callable is
+  /// forwarded straight into the queue's slab (see EventQueue::schedule).
+  template <typename F>
+  EventHandle at(core::TimePoint when, F&& action) {
     if (when < now_) when = now_;
-    return queue_.schedule(when, std::move(action));
+    return queue_.schedule(when, std::forward<F>(action));
   }
 
   /// Schedule after a (non-negative) delay from now.
-  EventHandle after(core::Duration delay, EventQueue::Action action) {
+  template <typename F>
+  EventHandle after(core::Duration delay, F&& action) {
     if (delay < core::Duration::zero()) delay = core::Duration::zero();
-    return queue_.schedule(now_ + delay, std::move(action));
+    return queue_.schedule(now_ + delay, std::forward<F>(action));
   }
 
   /// Run every event with timestamp <= `deadline`, in order. On return
@@ -69,6 +72,11 @@ class Simulation {
   obs::Telemetry* telemetry_;
   obs::Counter* dispatched_counter_;
   obs::Histogram* queue_depth_;
+  /// Span histograms resolved once per telemetry binding, so run()/
+  /// run_until() open their timing spans without name concatenation or
+  /// registry lookups (the dispatch loop is allocation-free once warm).
+  obs::SpanHistograms run_until_span_;
+  obs::SpanHistograms run_span_;
 };
 
 /// Repeating task helper: runs `action` every `interval`, starting at
