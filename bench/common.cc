@@ -200,6 +200,25 @@ void print_replicate_report(const sim::ReplicateReport& report) {
   std::printf("%s", table.render().c_str());
 }
 
+void print_replicate_distributions(const sim::ReplicateReport& report) {
+  if (report.distributions.empty()) return;
+  std::printf("\n== merged distributions (exact counts across %zu seeds) ==\n",
+              report.replicates);
+  core::TextTable table({"distribution", "count", "p50", "p90", "p99", "min",
+                         "max"});
+  for (const sim::MergedDistribution& d : report.distributions) {
+    table.add_row({d.name,
+                   core::strformat("%llu", static_cast<unsigned long long>(
+                                               d.merged.count())),
+                   core::strformat("%.3f", d.merged.quantile(0.50)),
+                   core::strformat("%.3f", d.merged.quantile(0.90)),
+                   core::strformat("%.3f", d.merged.quantile(0.99)),
+                   core::strformat("%.3f", d.merged.min()),
+                   core::strformat("%.3f", d.merged.max())});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
 std::size_t parse_threads(int argc, char** argv, std::size_t def) {
   const char* value = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -226,10 +245,18 @@ BenchTelemetry::BenchTelemetry(std::string run_name, int argc, char** argv)
       out_path_(parse_flag(argc, argv, "--telemetry-out")),
       profile_path_(parse_flag(argc, argv, "--profile-out")),
       query_trace_path_(parse_flag(argc, argv, "--query-trace-out")),
+      timeline_path_(parse_flag(argc, argv, "--timeline-out")),
       scope_(telemetry_) {
   if (enabled()) telemetry_.add_sink(&trace_);
   if (profiling()) telemetry_.profiler().set_enabled(true);
   if (query_tracing()) telemetry_.query_tracer().set_enabled(true);
+  if (timeline_enabled()) {
+    const std::size_t cadence_ms =
+        parse_size_flag(argc, argv, "--timeline-cadence-ms", 1000);
+    telemetry_.timeseries().set_cadence(
+        core::Duration::milliseconds(std::max<std::size_t>(1, cadence_ms)));
+    telemetry_.timeseries().set_enabled(true);
+  }
 }
 
 bool BenchTelemetry::finalize(core::TimePoint sim_end) {
@@ -280,6 +307,20 @@ bool BenchTelemetry::finalize(core::TimePoint sim_end) {
                   query_trace_path_.c_str(),
                   static_cast<unsigned long long>(qt.minted()),
                   static_cast<unsigned long long>(qt.dropped()));
+    }
+  }
+  if (timeline_enabled()) {
+    const obs::TimeSeriesRecorder& ts = telemetry_.timeseries();
+    const core::Status status =
+        obs::write_timeline_file(timeline_path_, ts, run_name_, sim_end);
+    if (!status.ok()) {
+      std::fprintf(stderr, "timeline failed: %s\n",
+                   status.error().message.c_str());
+      ok = false;
+    } else {
+      std::printf("timeline: %s (%zu series, %llu samples)\n",
+                  timeline_path_.c_str(), ts.series_count(),
+                  static_cast<unsigned long long>(ts.samples_taken()));
     }
   }
   return ok;

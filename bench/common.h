@@ -127,6 +127,11 @@ ReplicateCli parse_replicate_cli(int argc, char** argv);
 /// median / mean / stddev / min / max across replicates).
 void print_replicate_report(const sim::ReplicateReport& report);
 
+/// Print the report's cross-replicate merged distributions (one row per
+/// distribution: count / p50 / p90 / p99 / min / max). No-op when the
+/// report carries none.
+void print_replicate_distributions(const sim::ReplicateReport& report);
+
 /// Parse `--<flag> value` / `--<flag>=value` from argv (last occurrence
 /// wins); empty string when absent. `flag` includes the leading dashes.
 std::string parse_flag(int argc, char** argv, const char* flag);
@@ -149,8 +154,13 @@ std::size_t parse_size_flag(int argc, char** argv, const char* flag,
 /// Also parses `--query-trace-out <path>`: when present, the run's
 /// query tracer is enabled and finalize() writes the per-query causal
 /// trace JSONL there (schema in src/obs/query_trace.h; inspect with
-/// `mntp-inspect explain`). Without any flag the run pays only counter
-/// increments and finalize() is a no-op.
+/// `mntp-inspect explain`). Also parses `--timeline-out <path>` (with
+/// optional `--timeline-cadence-ms <ms>`, default 1000): when present,
+/// the run's sim-time series recorder is enabled, every instrumented
+/// component's probes get sampled on the cadence, and finalize() writes
+/// the timeline JSONL there (schema in src/obs/timeseries.h; inspect
+/// with `mntp-inspect timeline`). Without any flag the run pays only
+/// counter increments and finalize() is a no-op.
 class BenchTelemetry {
  public:
   BenchTelemetry(std::string run_name, int argc, char** argv);
@@ -163,6 +173,10 @@ class BenchTelemetry {
   [[nodiscard]] bool query_tracing() const {
     return !query_trace_path_.empty();
   }
+  /// True when --timeline-out was passed (sim-time sampling active).
+  [[nodiscard]] bool timeline_enabled() const {
+    return !timeline_path_.empty();
+  }
   [[nodiscard]] const std::string& out_path() const { return out_path_; }
   [[nodiscard]] const std::string& profile_path() const {
     return profile_path_;
@@ -170,7 +184,13 @@ class BenchTelemetry {
   [[nodiscard]] const std::string& query_trace_path() const {
     return query_trace_path_;
   }
+  [[nodiscard]] const std::string& timeline_path() const {
+    return timeline_path_;
+  }
   [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] obs::TimeSeriesRecorder& timeseries() {
+    return telemetry_.timeseries();
+  }
 
   /// Write the report / Chrome trace / query trace (no-op without the
   /// flags). Returns false and prints to stderr on I/O failure.
@@ -181,6 +201,7 @@ class BenchTelemetry {
   std::string out_path_;
   std::string profile_path_;
   std::string query_trace_path_;
+  std::string timeline_path_;
   obs::Telemetry telemetry_;
   obs::RingBufferSink trace_;
   obs::ScopedTelemetry scope_;

@@ -16,13 +16,18 @@ using namespace mntp;
 
 namespace {
 
-/// One replicate of the 4-hour scenario, reduced to its shape metrics.
-std::vector<mntp::sim::MetricValue> run_replicate(ntp::TestbedConfig config,
-                                                  std::uint64_t seed) {
+/// One replicate of the 4-hour scenario: shape metrics plus the reported
+/// offset distributions (merged exactly across replicates). Replicate 0
+/// alone records the sim-time timeline.
+sim::ReplicateResult run_replicate(ntp::TestbedConfig config,
+                                   std::uint64_t seed,
+                                   std::size_t replicate) {
+  obs::TimeSeriesRecorder::SuppressScope suppress(replicate != 0);
   config.seed = seed;
   const bench::HeadToHead r = bench::run_head_to_head(
       config, protocol::head_to_head_params(), core::Duration::hours(4));
-  return {
+  sim::ReplicateResult out;
+  out.metrics = {
       {"sntp_max_abs_ms", core::max_abs(r.sntp.offsets_ms)},
       {"corrected_max_ms", core::max_abs(r.mntp.corrected_ms)},
       {"rejections", static_cast<double>(r.mntp.rejected_ms.size())},
@@ -31,6 +36,14 @@ std::vector<mntp::sim::MetricValue> run_replicate(ntp::TestbedConfig config,
       {"drift_ppm", r.mntp.has_drift ? r.mntp.drift_ppm : 0.0},
       {"final_clock_offset_ms", r.mntp.final_clock_offset_ms},
   };
+  obs::HdrHistogram sntp_offsets, mntp_resid;
+  for (double v : r.sntp.offsets_ms) sntp_offsets.record(v);
+  for (double v : r.mntp.corrected_ms) mntp_resid.record(v);
+  out.distributions = {
+      {"sntp_offset_ms", std::move(sntp_offsets)},
+      {"mntp_resid_ms", std::move(mntp_resid)},
+  };
+  return out;
 }
 
 /// Multi-seed mode (`--replicates K --threads N`); the K=1 path below is
@@ -39,11 +52,14 @@ int run_replicated(const ntp::TestbedConfig& config,
                    const bench::ReplicateCli& cli,
                    bench::BenchTelemetry& telemetry) {
   sim::ReplicationRunner runner({cli.replicates, cli.threads});
-  const sim::ReplicateReport report =
-      runner.run(config.seed, [&](std::uint64_t seed, std::size_t) {
-        return run_replicate(config, seed);
-      });
+  const sim::ReplicateReport report = runner.run(
+      config.seed,
+      sim::ReplicationRunner::RichScenario(
+          [&](std::uint64_t seed, std::size_t replicate) {
+            return run_replicate(config, seed, replicate);
+          }));
   bench::print_replicate_report(report);
+  bench::print_replicate_distributions(report);
 
   bench::Checks checks;
   checks.expect(report.median("sntp_max_abs_ms") > 200.0,

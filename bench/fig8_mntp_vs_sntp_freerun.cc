@@ -15,13 +15,20 @@ using namespace mntp;
 
 namespace {
 
-/// One replicate of the Figure 8 scenario, reduced to its shape metrics.
-std::vector<mntp::sim::MetricValue> run_replicate(ntp::TestbedConfig config,
-                                                  std::uint64_t seed) {
+/// One replicate of the Figure 8 scenario: shape metrics plus the full
+/// reported-offset distributions (merged exactly across replicates).
+/// Replicate 0 runs the base seed — the single-seed experiment bit for
+/// bit — so it alone records the sim-time timeline; other replicates
+/// suppress theirs.
+sim::ReplicateResult run_replicate(ntp::TestbedConfig config,
+                                   std::uint64_t seed,
+                                   std::size_t replicate) {
+  obs::TimeSeriesRecorder::SuppressScope suppress(replicate != 0);
   config.seed = seed;
   const bench::HeadToHead r = bench::run_head_to_head(
       config, protocol::head_to_head_params(), core::Duration::hours(1));
-  return {
+  sim::ReplicateResult out;
+  out.metrics = {
       {"sntp_max_abs_ms", core::max_abs(r.sntp.offsets_ms)},
       {"mntp_max_abs_ms", core::max_abs(r.mntp.accepted_ms)},
       {"resid_max_ms", core::max_abs(r.mntp.corrected_ms)},
@@ -29,6 +36,16 @@ std::vector<mntp::sim::MetricValue> run_replicate(ntp::TestbedConfig config,
       {"has_drift", r.mntp.has_drift ? 1.0 : 0.0},
       {"drift_ppm", r.mntp.has_drift ? r.mntp.drift_ppm : 0.0},
   };
+  obs::HdrHistogram sntp_offsets, mntp_accepted, mntp_resid;
+  for (double v : r.sntp.offsets_ms) sntp_offsets.record(v);
+  for (double v : r.mntp.accepted_ms) mntp_accepted.record(v);
+  for (double v : r.mntp.corrected_ms) mntp_resid.record(v);
+  out.distributions = {
+      {"sntp_offset_ms", std::move(sntp_offsets)},
+      {"mntp_accepted_ms", std::move(mntp_accepted)},
+      {"mntp_resid_ms", std::move(mntp_resid)},
+  };
+  return out;
 }
 
 /// Multi-seed mode (`--replicates K --threads N`): aggregate the shape
@@ -39,11 +56,14 @@ int run_replicated(const ntp::TestbedConfig& config,
                    const bench::ReplicateCli& cli,
                    bench::BenchTelemetry& telemetry) {
   sim::ReplicationRunner runner({cli.replicates, cli.threads});
-  const sim::ReplicateReport report =
-      runner.run(config.seed, [&](std::uint64_t seed, std::size_t) {
-        return run_replicate(config, seed);
-      });
+  const sim::ReplicateReport report = runner.run(
+      config.seed,
+      sim::ReplicationRunner::RichScenario(
+          [&](std::uint64_t seed, std::size_t replicate) {
+            return run_replicate(config, seed, replicate);
+          }));
   bench::print_replicate_report(report);
+  bench::print_replicate_distributions(report);
 
   bench::Checks checks;
   checks.expect(report.median("sntp_max_abs_ms") > 250.0,

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate MNTP observability artifacts.
 
-Four artifact kinds, detected from content (or forced with --kind):
+Five artifact kinds, detected from content (or forced with --kind):
 
   * `report` — JSONL telemetry run report (schema v1, src/obs/report.h):
     line 1 is a `meta` object with schema_version 1 and run/sim_end_ns/
@@ -28,16 +28,27 @@ Four artifact kinds, detected from content (or forced with --kind):
     from the closed enum of src/obs/reason_codes.h, and a flat fields
     object; at most one `verdict` stage exists per query and it must be
     the last; the meta query_count matches the query-line count.
+  * `timeline` — JSONL sim-time series written by --timeline-out
+    (schema v1, src/obs/timeseries.h): line 1 is a `meta` object with
+    kind mntp_timeline and run/sim_end_ns/cadence_ns/series_count; every
+    following line is a `series` object with a name, a probe kind from
+    {callback, counter, gauge}, string labels, positive samples/stride,
+    and a non-empty points array of [t_ns, min, mean, max, last, count]
+    rows with strictly ascending t_ns, min<=mean<=max, min<=last<=max,
+    count>=1 and counts summing to `samples`; the meta series_count
+    matches the series-line count.
 
 Usage:
   check_telemetry_schema.py ARTIFACT
-      [--kind report|profile|bench|query-trace] [--require-prefixes a.,b.]
+      [--kind report|profile|bench|query-trace|timeline]
+      [--require-prefixes a.,b.]
   check_telemetry_schema.py --generate BENCH_BINARY --out report.jsonl \
-      [--kind report|profile|query-trace] [--require-prefixes a.,b.]
+      [--kind report|profile|query-trace|timeline] [--require-prefixes a.,b.]
 
 With --generate the script first runs `BENCH_BINARY --telemetry-out OUT`
 (`--profile-out OUT` when --kind profile, `--query-trace-out OUT` when
---kind query-trace) — the binary's own exit code is ignored: shape
+--kind query-trace, `--timeline-out OUT` when --kind timeline) — the
+binary's own exit code is ignored: shape
 checks may evolve independently of the telemetry schema — and then
 validates OUT. --require-prefixes (report kind only) additionally
 demands at least one metric per listed name prefix, which is how the
@@ -442,6 +453,115 @@ def validate_query_trace(path):
           f"run '{meta['run']}'")
 
 
+def check_timeline_meta(obj, lineno):
+    for key in ("schema_version", "kind", "run", "sim_end_ns", "cadence_ns",
+                "series_count"):
+        if key not in obj:
+            fail(lineno, f"meta missing '{key}'")
+    if obj["schema_version"] != 1:
+        fail(lineno, f"unsupported schema_version {obj['schema_version']}")
+    if obj["kind"] != "mntp_timeline":
+        fail(lineno, f"meta kind must be 'mntp_timeline', got "
+                     f"{obj['kind']!r}")
+    if not isinstance(obj["run"], str) or not obj["run"]:
+        fail(lineno, "meta 'run' must be a non-empty string")
+    for key in ("sim_end_ns", "series_count"):
+        if not isinstance(obj[key], int) or obj[key] < 0:
+            fail(lineno, f"meta '{key}' must be a non-negative integer")
+    if not isinstance(obj["cadence_ns"], int) or obj["cadence_ns"] <= 0:
+        fail(lineno, "meta 'cadence_ns' must be a positive integer")
+
+
+TIMELINE_PROBE_KINDS = {"callback", "counter", "gauge"}
+
+
+def check_timeline_series(obj, lineno):
+    for key in ("name", "probe", "labels", "samples", "stride", "points"):
+        if key not in obj:
+            fail(lineno, f"series missing '{key}'")
+    if not isinstance(obj["name"], str) or not obj["name"]:
+        fail(lineno, "series 'name' must be a non-empty string")
+    if obj["probe"] not in TIMELINE_PROBE_KINDS:
+        fail(lineno, f"unknown probe kind {obj['probe']!r}")
+    labels = obj["labels"]
+    if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in labels.items()):
+        fail(lineno, "series 'labels' must be a string-to-string object")
+    for key in ("samples", "stride"):
+        if not isinstance(obj[key], int) or obj[key] < 1:
+            fail(lineno, f"series '{key}' must be a positive integer")
+    points = obj["points"]
+    if not isinstance(points, list) or not points:
+        fail(lineno, "series 'points' must be a non-empty array "
+                     "(empty series are skipped at export)")
+    name = obj["name"]
+    last_t = None
+    total = 0
+    for i, p in enumerate(points):
+        def pfail(msg):
+            fail(lineno, f"series {name!r} points[{i}]: {msg}")
+        if not isinstance(p, list) or len(p) != 6:
+            pfail("must be a [t_ns,min,mean,max,last,count] array")
+        t_ns, lo, mean, hi, last, count = p
+        if not isinstance(t_ns, int):
+            pfail("'t_ns' must be an integer")
+        if last_t is not None and t_ns <= last_t:
+            pfail(f"t_ns {t_ns} not after previous {last_t}")
+        last_t = t_ns
+        for label, v in (("min", lo), ("mean", mean), ("max", hi),
+                         ("last", last)):
+            if not is_number(v):
+                pfail(f"'{label}' must be a number")
+        if not isinstance(count, int) or count < 1:
+            pfail("'count' must be a positive integer")
+        total += count
+        if not lo <= mean <= hi:
+            pfail(f"needs min<=mean<=max, got {lo}/{mean}/{hi}")
+        if not lo <= last <= hi:
+            pfail(f"needs min<=last<=max, got {lo}/{last}/{hi}")
+    if total != obj["samples"]:
+        fail(lineno, f"series {name!r}: point counts sum to {total}, "
+                     f"'samples' is {obj['samples']}")
+
+
+def validate_timeline(path):
+    """Timeline JSONL from --timeline-out (src/obs/timeseries.h)."""
+    meta = None
+    series_seen = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                fail(lineno, "blank line")
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"invalid JSON: {e}")
+            kind = obj.get("type")
+            if lineno == 1:
+                if kind != "meta":
+                    fail(lineno, "first line must be the meta object")
+                check_timeline_meta(obj, lineno)
+                meta = obj
+                continue
+            if kind == "meta":
+                fail(lineno, "duplicate meta line")
+            if kind != "series":
+                fail(lineno, f"unknown line type '{kind}'")
+            check_timeline_series(obj, lineno)
+            series_seen += 1
+
+    if meta is None:
+        raise SystemExit("SCHEMA ERROR: empty timeline")
+    if meta["series_count"] != series_seen:
+        raise SystemExit(
+            f"SCHEMA ERROR: meta series_count {meta['series_count']} != "
+            f"{series_seen} series lines")
+    print(f"OK: {path} — timeline with {series_seen} series, "
+          f"run '{meta['run']}'")
+
+
 def detect_kind(path):
     """Whole-file JSON => profile/bench; otherwise JSONL run report."""
     try:
@@ -455,6 +575,9 @@ def detect_kind(path):
             if isinstance(first, dict) and \
                     first.get("kind") == "mntp_query_trace":
                 return "query-trace"
+            if isinstance(first, dict) and \
+                    first.get("kind") == "mntp_timeline":
+                return "timeline"
         except (json.JSONDecodeError, UnicodeDecodeError):
             pass
         return "report"
@@ -465,6 +588,9 @@ def detect_kind(path):
     # A zero-query trace is a single meta line, i.e. valid whole-file JSON.
     if isinstance(doc, dict) and doc.get("kind") == "mntp_query_trace":
         return "query-trace"
+    # Likewise a timeline with no non-empty series.
+    if isinstance(doc, dict) and doc.get("kind") == "mntp_timeline":
+        return "timeline"
     raise SystemExit(f"SCHEMA ERROR: {path}: unrecognized artifact "
                      "(pass --kind to force)")
 
@@ -473,7 +599,8 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("artifact", nargs="?", help="artifact to validate")
     parser.add_argument("--kind",
-                        choices=("report", "profile", "bench", "query-trace"),
+                        choices=("report", "profile", "bench", "query-trace",
+                                 "timeline"),
                         help="artifact kind; detected from content if omitted")
     parser.add_argument("--generate", metavar="BINARY",
                         help="bench binary to run with --telemetry-out "
@@ -489,8 +616,9 @@ def main():
             parser.error("--generate requires --out")
         path = args.out
         flag = {"profile": "--profile-out",
-                "query-trace": "--query-trace-out"}.get(args.kind,
-                                                        "--telemetry-out")
+                "query-trace": "--query-trace-out",
+                "timeline": "--timeline-out"}.get(args.kind,
+                                                  "--telemetry-out")
         # The bench's own PASS/FAIL shape checks are not under test here;
         # only the telemetry output is.
         subprocess.run([args.generate, flag, path],
@@ -507,6 +635,8 @@ def main():
         validate_bench(path)
     elif kind == "query-trace":
         validate_query_trace(path)
+    elif kind == "timeline":
+        validate_timeline(path)
     else:
         prefixes = [p for p in args.require_prefixes.split(",") if p]
         validate(path, prefixes)

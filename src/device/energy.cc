@@ -2,11 +2,28 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/telemetry.h"
 
 namespace mntp::device {
 
-EnergyAccountant::EnergyAccountant(RadioEnergyParams params)
-    : params_(params) {}
+EnergyAccountant::EnergyAccountant(RadioEnergyParams params,
+                                   std::string probe_label)
+    : params_(params) {
+  obs::Labels labels;
+  if (!probe_label.empty()) labels.emplace_back("client", std::move(probe_label));
+  obs::TimeSeriesRecorder& ts = obs::Telemetry::global().timeseries();
+  energy_probe_ = ts.probe(obs::metric_names::kTsDeviceEnergyMj, labels,
+                           [this](core::TimePoint now) -> std::optional<double> {
+                             return total_mj(now);
+                           });
+  radio_probe_ = ts.probe(obs::metric_names::kTsDeviceRadioOnS, labels,
+                          [this](core::TimePoint now) -> std::optional<double> {
+                            return radio_on_time(now).to_seconds();
+                          });
+}
 
 void EnergyAccountant::on_exchange(core::TimePoint t, std::size_t bytes) {
   if (window_open_ && t < window_start_) {

@@ -16,8 +16,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/time.h"
+#include "obs/timeseries.h"
 
 namespace mntp::device {
 
@@ -43,7 +45,11 @@ struct RadioEnergyParams {
 /// (clients do this naturally).
 class EnergyAccountant {
  public:
-  explicit EnergyAccountant(RadioEnergyParams params = {});
+  /// `probe_label`, when non-empty, becomes a {"client": label} timeline
+  /// label distinguishing several accountants (e.g. one per protocol in a
+  /// head-to-head bench).
+  explicit EnergyAccountant(RadioEnergyParams params = {},
+                            std::string probe_label = {});
 
   /// Report one network exchange (request + response) of `bytes` total at
   /// time t. Must be called with non-decreasing t.
@@ -70,6 +76,10 @@ class EnergyAccountant {
   bool window_open_ = false;
   core::TimePoint window_start_;
   core::TimePoint window_end_;          // end of the current active+tail window
+  // Timeline probes: cumulative draw and radio-on time sampled on the
+  // recorder cadence (inert unless the recorder captures).
+  obs::ProbeHandle energy_probe_;
+  obs::ProbeHandle radio_probe_;
 };
 
 }  // namespace mntp::device

@@ -64,6 +64,21 @@ MntpEngine::MntpEngine(MntpParams params, core::TimePoint start)
   rounds_counter_ = m.counter(obs::metric_names::kMntpRounds);
   deferrals_counter_ = m.counter(obs::metric_names::kMntpDeferrals);
   resets_counter_ = m.counter(obs::metric_names::kMntpResets);
+  obs::TimeSeriesRecorder& ts = telemetry_->timeseries();
+  offset_probe_ = ts.probe(obs::metric_names::kTsMntpOffsetMs, {},
+                           [this](core::TimePoint) -> std::optional<double> {
+                             if (!last_accepted_offset_s_) return std::nullopt;
+                             return *last_accepted_offset_s_ * 1e3;
+                           });
+  drift_probe_ = ts.probe(obs::metric_names::kTsMntpDriftPpm, {},
+                          [this](core::TimePoint) -> std::optional<double> {
+                            const std::optional<double> d = drift_s_per_s();
+                            if (!d) return std::nullopt;
+                            return *d * 1e6;
+                          });
+  deferral_probe_ =
+      ts.counter_probe(obs::metric_names::kTsMntpDeferrals, {},
+                       deferrals_counter_);
   if (params_.warmup_period == core::Duration::zero()) {
     // Head-to-head mode: no distinct warm-up; the filter still
     // bootstraps its first min_warmup_samples unconditionally.
@@ -190,6 +205,7 @@ MntpEngine::RoundResult MntpEngine::on_round(
     if (fd.accepted) {
       rr.accepted = true;
       ++accepted_in_cycle_;
+      last_accepted_offset_s_ = measured;
       rr.outcome = phase_ == Phase::kWarmup ? SampleOutcome::kAcceptedWarmup
                                             : SampleOutcome::kAcceptedRegular;
     } else {

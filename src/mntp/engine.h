@@ -154,6 +154,13 @@ class MntpEngine {
   obs::Counter* rounds_counter_ = nullptr;
   obs::Counter* deferrals_counter_ = nullptr;
   obs::Counter* resets_counter_ = nullptr;
+  // Timeline probes (obs/timeseries.h): inert unless the recorder is
+  // capturing at construction. Unregister with the engine, so a bench
+  // running several experiments in sequence gets one series per engine.
+  obs::ProbeHandle offset_probe_;
+  obs::ProbeHandle drift_probe_;
+  obs::ProbeHandle deferral_probe_;
+  std::optional<double> last_accepted_offset_s_;
 
   MntpParams params_;
   Phase phase_ = Phase::kWarmup;

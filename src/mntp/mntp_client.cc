@@ -25,6 +25,14 @@ MntpClient::MntpClient(sim::Simulation& sim, sim::DisciplinedClock& clock,
   requests_counter_ = m.counter(obs::metric_names::kMntpClientRequests);
   forced_counter_ = m.counter(obs::metric_names::kMntpClientForcedEmissions);
   clock_steps_counter_ = m.counter(obs::metric_names::kMntpClientClockSteps);
+  gate_probe_ = sim_.telemetry().timeseries().probe(
+      obs::metric_names::kTsMntpGateState, {},
+      [this](core::TimePoint) -> std::optional<double> {
+        if (hint_log_.empty()) return std::nullopt;
+        const HintRecord& h = hint_log_.back();
+        if (!h.emitted) return 0.0;
+        return h.favorable ? 1.0 : 2.0;
+      });
 }
 
 void MntpClient::start() {

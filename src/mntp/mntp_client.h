@@ -82,6 +82,10 @@ class MntpClient {
   obs::Counter* requests_counter_ = nullptr;
   obs::Counter* forced_counter_ = nullptr;
   obs::Counter* clock_steps_counter_ = nullptr;
+  /// Timeline probe: deferral-gate state at the latest acquisition
+  /// opportunity (0 = deferred, 1 = emitted favorably, 2 = forced by the
+  /// max_deferral fallback). Inert unless the recorder captures.
+  obs::ProbeHandle gate_probe_;
 };
 
 }  // namespace mntp::protocol

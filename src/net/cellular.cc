@@ -18,6 +18,13 @@ class CellularNetwork::DirectionalLink final : public Link {
     drop_counter_ = m.counter(obs::metric_names::kNetCellDrop, dir);
     delay_ms_ = m.histogram(obs::metric_names::kNetCellDelayMs,
                             obs::HistogramOptions::latency_ms(), dir);
+    delay_probe_ = obs::Telemetry::global().timeseries().probe(
+        obs::metric_names::kTsNetDelayMs,
+        obs::Labels{{"transport", "cell"}, {"dir", is_uplink ? "up" : "down"}},
+        [this](core::TimePoint) -> std::optional<double> {
+          if (!has_delay_) return std::nullopt;
+          return last_delay_ms_;
+        });
   }
 
   TransmitResult transmit(core::TimePoint now, std::size_t /*bytes*/) override {
@@ -62,6 +69,8 @@ class CellularNetwork::DirectionalLink final : public Link {
     }
     delay = std::min(delay, p.max_one_way);
     delay_ms_->record(delay.to_millis());
+    last_delay_ms_ = delay.to_millis();
+    has_delay_ = true;
     if (auto q = obs::ambient_query(); q.tracer) {
       q.tracer->stage(q.id, now, "cell", obs::Reason::kNone,
                       {{"dir", std::string(is_uplink_ ? "up" : "down")},
@@ -78,6 +87,9 @@ class CellularNetwork::DirectionalLink final : public Link {
   obs::Counter* tx_counter_;
   obs::Counter* drop_counter_;
   obs::Histogram* delay_ms_;
+  double last_delay_ms_ = 0.0;
+  bool has_delay_ = false;
+  obs::ProbeHandle delay_probe_;
 };
 
 CellularNetwork::CellularNetwork(CellularParams params, core::Rng rng)

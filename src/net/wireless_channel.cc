@@ -28,6 +28,23 @@ WirelessChannel::WirelessChannel(WirelessChannelParams params, core::Rng rng)
                                obs::HistogramOptions::latency_ms(), dir);
   }
   bad_transitions_ = m.counter(obs::metric_names::kNetWifiBadStateTransitions);
+  obs::TimeSeriesRecorder& ts = telemetry_->timeseries();
+  for (int d = 0; d < 2; ++d) {
+    const obs::Labels labels{{"transport", "wifi"},
+                             {"dir", d == 0 ? "up" : "down"}};
+    delay_probe_[d] =
+        ts.probe(obs::metric_names::kTsNetDelayMs, labels,
+                 [this, d](core::TimePoint) -> std::optional<double> {
+                   if (!has_delay_[d]) return std::nullopt;
+                   return last_delay_ms_[d];
+                 });
+  }
+  util_probe_ =
+      ts.probe(obs::metric_names::kTsNetUtilization,
+               obs::Labels{{"transport", "wifi"}},
+               [this](core::TimePoint) -> std::optional<double> {
+                 return utilization_;
+               });
   // First good->bad transition.
   next_transition_ = core::TimePoint::epoch() +
       core::Duration::from_seconds(
@@ -176,6 +193,8 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
   const core::Duration delay =
       params_.base_delay + backoff + queueing + spike + serialization;
   delay_ms_[dir]->record(delay.to_millis());
+  last_delay_ms_[dir] = delay.to_millis();
+  has_delay_[dir] = true;
   if (auto q = obs::ambient_query(); q.tracer) {
     // Per-query airtime breakdown: where this packet's delay came from.
     q.tracer->stage(q.id, now, "airtime", obs::Reason::kNone,

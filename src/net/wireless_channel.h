@@ -166,6 +166,12 @@ class WirelessChannel {
   obs::Counter* drop_counter_[2];
   obs::Histogram* delay_ms_[2];
   obs::Counter* bad_transitions_;
+  // Timeline probes: latest delivered delay per direction and the
+  // offered-load knob (inert unless the recorder captures).
+  double last_delay_ms_[2] = {0.0, 0.0};
+  bool has_delay_[2] = {false, false};
+  obs::ProbeHandle delay_probe_[2];
+  obs::ProbeHandle util_probe_;
 };
 
 }  // namespace mntp::net

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metric_names.h"
+#include "obs/telemetry.h"
+
 namespace mntp::ntp {
 
 ServerPool::ServerPool(PoolParams params, core::Rng rng)
@@ -56,6 +59,21 @@ ServerPool::ServerPool(PoolParams params, core::Rng rng)
             core::Duration::from_seconds(base_s * (1.0 - asym))),
         rng_.fork());
     members_.push_back(std::move(m));
+  }
+
+  // Per-member reachability probes: the timeline samples each server's
+  // cumulative requests-served counter, so a member that goes dark (or a
+  // client that deferred away from the pool) shows up as a flat series.
+  obs::TimeSeriesRecorder& ts = obs::Telemetry::global().timeseries();
+  request_probes_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    NtpServer* server = members_[i].server.get();
+    request_probes_.push_back(ts.probe(
+        obs::metric_names::kTsNtpServerRequests,
+        obs::Labels{{"server", std::to_string(i)}},
+        [server](core::TimePoint) -> std::optional<double> {
+          return static_cast<double>(server->requests_served());
+        }));
   }
 }
 

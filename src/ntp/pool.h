@@ -87,6 +87,10 @@ class ServerPool {
   PoolParams params_;
   core::Rng rng_;
   std::vector<Member> members_;
+  /// Timeline probes: per-member cumulative requests served (the
+  /// server's-eye reachability signal — a flat series means the member
+  /// stopped being reached). Inert unless the recorder captures.
+  std::vector<obs::ProbeHandle> request_probes_;
 };
 
 }  // namespace mntp::ntp

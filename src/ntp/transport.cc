@@ -33,6 +33,23 @@ QueryEngine::QueryEngine(sim::Simulation& sim, sim::DisciplinedClock& clock)
   error_counter_ = m.counter(obs::metric_names::kNtpQueryError);
   rtt_ms_ = m.histogram(obs::metric_names::kNtpQueryRttMs,
                         obs::HistogramOptions::latency_ms());
+  owd_up_ms_ = m.hdr_histogram(obs::metric_names::kNtpQueryOwdMs, {},
+                               obs::Labels{{"dir", "up"}});
+  owd_down_ms_ = m.hdr_histogram(obs::metric_names::kNtpQueryOwdMs, {},
+                                 obs::Labels{{"dir", "down"}});
+  obs::TimeSeriesRecorder& ts = sim_.telemetry().timeseries();
+  owd_up_probe_ =
+      ts.probe(obs::metric_names::kTsNtpOwdMs, obs::Labels{{"dir", "up"}},
+               [this](core::TimePoint) -> std::optional<double> {
+                 if (!has_owd_up_) return std::nullopt;
+                 return last_owd_up_ms_;
+               });
+  owd_down_probe_ =
+      ts.probe(obs::metric_names::kTsNtpOwdMs, obs::Labels{{"dir", "down"}},
+               [this](core::TimePoint) -> std::optional<double> {
+                 if (!has_owd_down_) return std::nullopt;
+                 return last_owd_down_ms_;
+               });
 }
 
 void QueryEngine::query(const ServerEndpoint& endpoint,
@@ -87,8 +104,13 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
   // the traced loss stage is recorded by the link walker itself).
   net::send_datagram(
       sim_, endpoint.up, wire_bytes,
-      [this, ex, server, down, request_bytes, t1, wire_bytes,
+      [this, ex, server, down, request_bytes, t1, wire_bytes, send_true,
        qid](core::TimePoint arrival) {
+        // Uplink one-way delay on the true timeline (simulator's-eye
+        // view; a real client cannot separate the directions).
+        last_owd_up_ms_ = (arrival - send_true).to_millis();
+        has_owd_up_ = true;
+        owd_up_ms_->record(last_owd_up_ms_);
         auto reply = server->handle(request_bytes, arrival);
         if (!reply.ok()) {
           error_counter_->inc();
@@ -111,9 +133,14 @@ void QueryEngine::query(const ServerEndpoint& endpoint,
         // The reply leaves after the server's processing delay.
         sim_.at(reply.value().departs, [this, ex, down, reply_bytes, t1,
                                         wire_bytes, qid] {
+          const core::TimePoint departs = sim_.now();
           net::send_datagram(
               sim_, down, wire_bytes,
-              [this, ex, reply_bytes, t1, qid](core::TimePoint t4_true) {
+              [this, ex, reply_bytes, t1, departs,
+               qid](core::TimePoint t4_true) {
+                last_owd_down_ms_ = (t4_true - departs).to_millis();
+                has_owd_down_ = true;
+                owd_down_ms_->record(last_owd_down_ms_);
                 auto parsed = NtpPacket::parse(reply_bytes);
                 if (!parsed.ok()) {
                   error_counter_->inc();

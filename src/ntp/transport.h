@@ -70,6 +70,18 @@ class QueryEngine {
   obs::Counter* timeout_counter_ = nullptr;
   obs::Counter* error_counter_ = nullptr;
   obs::Histogram* rtt_ms_ = nullptr;
+  /// Per-direction one-way delays on the TRUE timeline (the simulator
+  /// can observe what a real client cannot). Mergeable HDR histograms —
+  /// these are the distributions replicate/fleet aggregation needs.
+  obs::ShardedHdrHistogram* owd_up_ms_ = nullptr;
+  obs::ShardedHdrHistogram* owd_down_ms_ = nullptr;
+  // Timeline probes: latest OWD per direction.
+  double last_owd_up_ms_ = 0.0;
+  double last_owd_down_ms_ = 0.0;
+  bool has_owd_up_ = false;
+  bool has_owd_down_ = false;
+  obs::ProbeHandle owd_up_probe_;
+  obs::ProbeHandle owd_down_probe_;
 };
 
 }  // namespace mntp::ntp

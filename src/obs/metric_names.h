@@ -46,6 +46,8 @@ inline constexpr const char kNetCellCongestionEpisodes[] =
     "net.cell.congestion_episodes";
 
 // ntp: query engine and clock filter
+inline constexpr const char kNtpQueryOwdMs[] = "ntp.query.owd_ms";
+inline constexpr const char kNtpServerRequests[] = "ntp.server.requests";
 inline constexpr const char kNtpQuerySent[] = "ntp.query.sent";
 inline constexpr const char kNtpQueryOk[] = "ntp.query.ok";
 inline constexpr const char kNtpQueryTimeout[] = "ntp.query.timeout";
@@ -67,6 +69,20 @@ inline constexpr const char kMntpClientClockSteps[] =
 
 // tuner
 inline constexpr const char kTunerConfigsScored[] = "tuner.configs_scored";
+
+// timeline-only series (obs/timeseries.h probes; these appear in the
+// --timeline-out artifact, not the run report)
+inline constexpr const char kTsMntpOffsetMs[] = "mntp.offset_ms";
+inline constexpr const char kTsMntpDriftPpm[] = "mntp.drift_ppm";
+inline constexpr const char kTsMntpGateState[] = "mntp.gate_state";
+inline constexpr const char kTsMntpDeferrals[] = "mntp.deferrals";
+inline constexpr const char kTsNtpOwdMs[] = "ntp.owd_ms";
+inline constexpr const char kTsSimQueueDepth[] = "sim.queue_depth";
+inline constexpr const char kTsNetDelayMs[] = "net.delay_ms";
+inline constexpr const char kTsNetUtilization[] = "net.utilization";
+inline constexpr const char kTsDeviceEnergyMj[] = "device.energy_mj";
+inline constexpr const char kTsDeviceRadioOnS[] = "device.radio_on_s";
+inline constexpr const char kTsNtpServerRequests[] = "ntp.server.requests";
 }  // namespace metric_names
 
 /// Profiler span names (obs/profiler.h). The sim.run/run_until names

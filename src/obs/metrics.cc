@@ -240,9 +240,26 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
   return it->second.get();
 }
 
+ShardedHdrHistogram* MetricsRegistry::hdr_histogram(std::string_view name,
+                                                    HdrHistogramOptions options,
+                                                    Labels labels) {
+  Key key{std::string(name), normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = hdr_histograms_.find(key);
+  if (it == hdr_histograms_.end()) {
+    it = hdr_histograms_
+             .emplace(std::move(key),
+                      std::unique_ptr<ShardedHdrHistogram>(
+                          new ShardedHdrHistogram(options, &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         hdr_histograms_.size();
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
@@ -281,6 +298,27 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
     for (std::size_t i = 0; i < h->bucket_count(); ++i) {
       s.buckets.emplace_back(h->bucket_bound(i), h->bucket_value(i));
     }
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, h] : hdr_histograms_) {
+    // Shards merge here, at snapshot time; the merged result is identical
+    // for every thread count because HdrHistogram::merge is
+    // order-insensitive. Exported in the same histogram shape the report
+    // schema expects: non-empty buckets ascending, then the +inf bucket.
+    const HdrHistogram merged = h->merged();
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.count = merged.count();
+    s.sum = merged.sum();
+    s.min = merged.min();
+    s.max = merged.max();
+    s.p50 = merged.quantile(0.50);
+    s.p90 = merged.quantile(0.90);
+    s.p99 = merged.quantile(0.99);
+    s.buckets = merged.buckets();
+    s.buckets.emplace_back(std::numeric_limits<double>::infinity(), 0);
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),

@@ -47,6 +47,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
+
 namespace mntp::obs {
 
 /// Metric labels: key/value pairs, e.g. {{"dir","up"}}. Stored sorted by
@@ -209,6 +211,15 @@ class MetricsRegistry {
   Histogram* histogram(std::string_view name,
                        HistogramOptions options = HistogramOptions::latency_ms(),
                        Labels labels = {});
+  /// Mergeable alternative to histogram() (see obs/hdr_histogram.h):
+  /// exact log-linear bucket counts, per-thread shards merged at
+  /// snapshot(), so the hot path never takes the per-histogram mutex the
+  /// P² markers require. Choose this for distributions that must be
+  /// aggregated across replicates/shards; choose histogram() when the
+  /// named P² percentiles and hand-picked bucket bounds matter more.
+  ShardedHdrHistogram* hdr_histogram(std::string_view name,
+                                     HdrHistogramOptions options = {},
+                                     Labels labels = {});
 
   /// Disable/enable all recording (handles stay valid; records become a
   /// single branch). Used to measure instrumentation overhead.
@@ -241,6 +252,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<Key, std::unique_ptr<ShardedHdrHistogram>> hdr_histograms_;
 };
 
 }  // namespace mntp::obs

@@ -50,6 +50,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/query_trace.h"
+#include "obs/timeseries.h"
 #include "obs/trace_event.h"
 
 namespace mntp::obs {
@@ -76,6 +77,15 @@ class Telemetry {
   [[nodiscard]] QueryTracer& query_tracer() { return query_tracer_; }
   [[nodiscard]] const QueryTracer& query_tracer() const {
     return query_tracer_;
+  }
+
+  /// Sim-time series recorder bound to this context (see
+  /// obs/timeseries.h). Off by default; enable with
+  /// timeseries().set_enabled(true) BEFORE constructing simulations and
+  /// instrumented components, export via write_timeline_file.
+  [[nodiscard]] TimeSeriesRecorder& timeseries() { return timeseries_; }
+  [[nodiscard]] const TimeSeriesRecorder& timeseries() const {
+    return timeseries_;
   }
 
   /// Attach a non-owning sink; the sink must outlive this context (or be
@@ -120,6 +130,7 @@ class Telemetry {
   MetricsRegistry metrics_;
   Profiler profiler_;
   QueryTracer query_tracer_;
+  TimeSeriesRecorder timeseries_;
   std::mutex sink_mutex_;  // serializes emit/flush and sink attach/detach
   std::vector<TraceSink*> sinks_;
   std::atomic<bool> has_sinks_{false};

@@ -30,13 +30,30 @@ double ReplicateReport::median(std::string_view name, double fallback) const {
   return m != nullptr ? m->summary.median : fallback;
 }
 
+const MergedDistribution* ReplicateReport::find_distribution(
+    std::string_view name) const {
+  for (const MergedDistribution& d : distributions) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
 ReplicateReport ReplicationRunner::run(std::uint64_t base_seed,
                                        const Scenario& scenario) const {
+  return run(base_seed,
+             RichScenario([&scenario](std::uint64_t seed, std::size_t r) {
+               return ReplicateResult{.metrics = scenario(seed, r),
+                                      .distributions = {}};
+             }));
+}
+
+ReplicateReport ReplicationRunner::run(std::uint64_t base_seed,
+                                       const RichScenario& scenario) const {
   const std::size_t k = options_.replicates == 0 ? 1 : options_.replicates;
   // Deterministic result placement: slot r belongs to replicate r, so
   // the aggregation below sees the same values in the same order no
   // matter which worker ran which replicate.
-  std::vector<std::vector<MetricValue>> per_replicate(k);
+  std::vector<ReplicateResult> per_replicate(k);
   const auto run_one = [&](std::size_t r) {
     per_replicate[r] = scenario(replicate_seed(base_seed, r), r);
   };
@@ -50,32 +67,61 @@ ReplicateReport ReplicationRunner::run(std::uint64_t base_seed,
   ReplicateReport report;
   report.base_seed = base_seed;
   report.replicates = k;
-  report.metrics.reserve(per_replicate[0].size());
-  for (const MetricValue& mv : per_replicate[0]) {
+  report.metrics.reserve(per_replicate[0].metrics.size());
+  for (const MetricValue& mv : per_replicate[0].metrics) {
     ReplicatedMetric metric;
     metric.name = mv.name;
     metric.per_replicate.reserve(k);
     report.metrics.push_back(std::move(metric));
   }
   for (std::size_t r = 0; r < k; ++r) {
-    if (per_replicate[r].size() != report.metrics.size()) {
+    if (per_replicate[r].metrics.size() != report.metrics.size()) {
       throw std::runtime_error("ReplicationRunner: replicate " +
                                std::to_string(r) +
                                " returned a different metric count");
     }
     for (std::size_t i = 0; i < report.metrics.size(); ++i) {
-      if (per_replicate[r][i].name != report.metrics[i].name) {
-        throw std::runtime_error("ReplicationRunner: replicate " +
-                                 std::to_string(r) + " metric " +
-                                 std::to_string(i) + " is named '" +
-                                 per_replicate[r][i].name + "', expected '" +
-                                 report.metrics[i].name + "'");
+      if (per_replicate[r].metrics[i].name != report.metrics[i].name) {
+        throw std::runtime_error(
+            "ReplicationRunner: replicate " + std::to_string(r) + " metric " +
+            std::to_string(i) + " is named '" +
+            per_replicate[r].metrics[i].name + "', expected '" +
+            report.metrics[i].name + "'");
       }
-      report.metrics[i].per_replicate.push_back(per_replicate[r][i].value);
+      report.metrics[i].per_replicate.push_back(
+          per_replicate[r].metrics[i].value);
     }
   }
   for (ReplicatedMetric& m : report.metrics) {
     m.summary = core::summarize(m.per_replicate);
+  }
+
+  // Merge distributions replicate by replicate. The merge order is fixed
+  // (slot order), but HdrHistogram::merge is order-insensitive anyway, so
+  // the result is bit-identical for every thread count.
+  report.distributions.reserve(per_replicate[0].distributions.size());
+  for (const DistributionValue& dv : per_replicate[0].distributions) {
+    report.distributions.push_back(MergedDistribution{
+        .name = dv.name, .merged = obs::HdrHistogram(dv.histogram.options())});
+  }
+  for (std::size_t r = 0; r < k; ++r) {
+    if (per_replicate[r].distributions.size() != report.distributions.size()) {
+      throw std::runtime_error("ReplicationRunner: replicate " +
+                               std::to_string(r) +
+                               " returned a different distribution count");
+    }
+    for (std::size_t i = 0; i < report.distributions.size(); ++i) {
+      if (per_replicate[r].distributions[i].name !=
+          report.distributions[i].name) {
+        throw std::runtime_error(
+            "ReplicationRunner: replicate " + std::to_string(r) +
+            " distribution " + std::to_string(i) + " is named '" +
+            per_replicate[r].distributions[i].name + "', expected '" +
+            report.distributions[i].name + "'");
+      }
+      report.distributions[i].merged.merge(
+          per_replicate[r].distributions[i].histogram);
+    }
   }
   return report;
 }

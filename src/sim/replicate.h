@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "obs/hdr_histogram.h"
 
 namespace mntp::sim {
 
@@ -45,6 +46,28 @@ namespace mntp::sim {
 struct MetricValue {
   std::string name;
   double value = 0.0;
+};
+
+/// One whole distribution observed in a single replicate (e.g. every
+/// per-poll offset). obs::HdrHistogram, not the P² Histogram, precisely
+/// because these are merged across replicates.
+struct DistributionValue {
+  std::string name;
+  obs::HdrHistogram histogram;
+};
+
+/// Everything one replicate reports: scalar metrics plus distributions.
+struct ReplicateResult {
+  std::vector<MetricValue> metrics;
+  std::vector<DistributionValue> distributions;
+};
+
+/// A distribution merged across all replicates. Because
+/// HdrHistogram::merge is order-insensitive bit for bit, `merged` is
+/// identical for every --threads value.
+struct MergedDistribution {
+  std::string name;
+  obs::HdrHistogram merged;
 };
 
 /// A metric aggregated across all replicates.
@@ -60,12 +83,18 @@ struct ReplicateReport {
   std::uint64_t base_seed = 0;
   std::size_t replicates = 0;
   std::vector<ReplicatedMetric> metrics;
+  /// Cross-replicate merged distributions; empty unless the scenario
+  /// reports distributions (the rich-scenario overload of run()).
+  std::vector<MergedDistribution> distributions;
 
   /// Metric by name; nullptr when absent.
   [[nodiscard]] const ReplicatedMetric* find(std::string_view name) const;
   /// Median across replicates of metric `name`; `fallback` when absent.
   [[nodiscard]] double median(std::string_view name,
                               double fallback = 0.0) const;
+  /// Merged distribution by name; nullptr when absent.
+  [[nodiscard]] const MergedDistribution* find_distribution(
+      std::string_view name) const;
 };
 
 class ReplicationRunner {
@@ -85,12 +114,21 @@ class ReplicationRunner {
   using Scenario = std::function<std::vector<MetricValue>(
       std::uint64_t seed, std::size_t replicate)>;
 
+  /// Scenario variant that also reports whole distributions, merged
+  /// across replicates in the report. Every replicate must report the
+  /// same distribution names in the same order, with identical
+  /// HdrHistogram layouts (merge() throws otherwise).
+  using RichScenario = std::function<ReplicateResult(std::uint64_t seed,
+                                                     std::size_t replicate)>;
+
   explicit ReplicationRunner(Options options) : options_(options) {}
 
   /// Run all replicates (parallel per options_.threads) and aggregate.
   /// The report is bit-identical for every thread count.
   [[nodiscard]] ReplicateReport run(std::uint64_t base_seed,
                                     const Scenario& scenario) const;
+  [[nodiscard]] ReplicateReport run(std::uint64_t base_seed,
+                                    const RichScenario& scenario) const;
 
  private:
   Options options_;

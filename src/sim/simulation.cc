@@ -24,6 +24,7 @@ Simulation::Simulation()
       run_until_span_(
           obs::resolve_span_histograms(*telemetry_, obs::spans::kSimRunUntil)),
       run_span_(obs::resolve_span_histograms(*telemetry_, obs::spans::kSimRun)) {
+  bind_timeline();
 }
 
 void Simulation::set_telemetry(obs::Telemetry& telemetry) {
@@ -35,6 +36,43 @@ void Simulation::set_telemetry(obs::Telemetry& telemetry) {
   run_until_span_ =
       obs::resolve_span_histograms(*telemetry_, obs::spans::kSimRunUntil);
   run_span_ = obs::resolve_span_histograms(*telemetry_, obs::spans::kSimRun);
+  sampler_event_.cancel();
+  bind_timeline();
+}
+
+void Simulation::bind_timeline() {
+  timeline_ = &telemetry_->timeseries();
+  // The capture decision is taken here, on the constructing thread: a
+  // replicate worker under a SuppressScope binds an inert sampler even
+  // though the recorder itself is enabled.
+  timeline_capturing_ = timeline_->capturing();
+  next_sample_ = now_;
+  if (timeline_capturing_) {
+    queue_depth_probe_ = timeline_->probe(
+        obs::metric_names::kTsSimQueueDepth, {},
+        [this](core::TimePoint) -> std::optional<double> {
+          return static_cast<double>(queue_.size());
+        });
+  } else {
+    queue_depth_probe_.reset();
+  }
+}
+
+void Simulation::arm_sampler(core::TimePoint deadline) {
+  if (!timeline_capturing_) return;
+  sampler_deadline_ = deadline;
+  if (sampler_event_.pending()) return;  // extend the deadline only
+  if (next_sample_ < now_) next_sample_ = now_;
+  schedule_next_sample();
+}
+
+void Simulation::schedule_next_sample() {
+  if (next_sample_ > sampler_deadline_) return;
+  sampler_event_ = queue_.schedule(next_sample_, [this] {
+    timeline_->sample(now_);
+    next_sample_ = now_ + timeline_->cadence();
+    schedule_next_sample();
+  });
 }
 
 void Simulation::dispatch_next() {
@@ -52,6 +90,7 @@ void Simulation::dispatch_next() {
 void Simulation::run_until(core::TimePoint deadline) {
   obs::ProfileScope profile(obs::spans::kSimRunUntil, now_);
   obs::SpanTimer span(run_until_span_, now_);
+  arm_sampler(deadline);
   // The dispatch count is batched into one counter update per run call:
   // per-event atomic increments are measurable on the churn bench, and
   // nothing observes the counter mid-run (the loop never yields).

@@ -65,6 +65,16 @@ class Simulation {
 
  private:
   void dispatch_next();
+  /// Timeline sampling (obs/timeseries.h): when the bound telemetry's
+  /// TimeSeriesRecorder is capturing on this thread at construction /
+  /// rebinding, run_until() arms a self-rescheduling sampler event that
+  /// calls recorder.sample(now) on the recorder's cadence, bounded by the
+  /// run_until deadline (never by run(), which must drain the queue).
+  /// With the recorder off — the default — nothing is ever scheduled, so
+  /// event interleaving is untouched.
+  void bind_timeline();
+  void arm_sampler(core::TimePoint deadline);
+  void schedule_next_sample();
 
   EventQueue queue_;
   core::TimePoint now_;
@@ -72,6 +82,12 @@ class Simulation {
   obs::Telemetry* telemetry_;
   obs::Counter* dispatched_counter_;
   obs::Histogram* queue_depth_;
+  obs::TimeSeriesRecorder* timeline_ = nullptr;
+  bool timeline_capturing_ = false;
+  core::TimePoint next_sample_;
+  core::TimePoint sampler_deadline_;
+  EventHandle sampler_event_;
+  obs::ProbeHandle queue_depth_probe_;
   /// Span histograms resolved once per telemetry binding, so run()/
   /// run_until() open their timing spans without name concatenation or
   /// registry lookups (the dispatch loop is allocation-free once warm).

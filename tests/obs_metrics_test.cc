@@ -161,6 +161,76 @@ TEST(P2Quantile, TracksLognormalTail) {
   EXPECT_NEAR(p90.estimate(), exact, 0.15 * exact);
 }
 
+// The interpolated order statistic the P² estimator promises for n < 5:
+// rank q*(n-1), linear between neighbours.
+double interpolated_order_stat(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const double rank = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  return xs[lo] + (rank - static_cast<double>(lo)) * (xs[hi] - xs[lo]);
+}
+
+TEST(P2Quantile, FewerThanFiveSamplesIsExactOrderStatistic) {
+  // Before the five markers exist the estimator must fall back to the
+  // exact (interpolated) order statistic — for ANY quantile, not just
+  // the median the five-sample test exercises.
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+    P2Quantile est(q);
+    std::vector<double> seen;
+    for (double x : xs) {
+      est.add(x);
+      seen.push_back(x);
+      EXPECT_EQ(est.count(), seen.size());
+      EXPECT_DOUBLE_EQ(est.estimate(), interpolated_order_stat(seen, q))
+          << "q=" << q << " n=" << seen.size();
+    }
+  }
+}
+
+TEST(P2Quantile, EmptyAndSingleSample) {
+  P2Quantile q(0.9);
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.estimate(), 0.0);
+  q.add(-7.5);
+  EXPECT_DOUBLE_EQ(q.estimate(), -7.5);
+}
+
+TEST(P2Quantile, ConstantStreamStaysOnTheConstant) {
+  // The parabolic marker update divides by marker-position gaps; a
+  // constant stream collapses every height and must not drift or NaN.
+  for (double q : {0.5, 0.99}) {
+    P2Quantile est(q);
+    for (int i = 0; i < 1000; ++i) est.add(42.25);
+    EXPECT_DOUBLE_EQ(est.estimate(), 42.25) << "q=" << q;
+  }
+}
+
+TEST(P2Quantile, NearConstantStreamStaysBracketed) {
+  // Two distinct values: the estimate can interpolate but must stay
+  // inside [lo, hi] no matter how the markers shuffle.
+  P2Quantile est(0.9);
+  for (int i = 0; i < 2000; ++i) est.add(i % 10 == 0 ? 5.0 : 3.0);
+  EXPECT_GE(est.estimate(), 3.0);
+  EXPECT_LE(est.estimate(), 5.0);
+}
+
+TEST(P2Quantile, SortedInputAgreesWithExactQuantile) {
+  // Monotone input is the estimator's adversarial case (markers chase a
+  // moving front); it must still land close on a long stream.
+  P2Quantile p50(0.5), p90(0.9);
+  std::vector<double> xs;
+  for (int i = 1; i <= 10000; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    p50.add(x);
+    p90.add(x);
+  }
+  EXPECT_NEAR(p50.estimate(), exact_percentile(xs, 0.5), 0.02 * 10000);
+  EXPECT_NEAR(p90.estimate(), exact_percentile(xs, 0.9), 0.02 * 10000);
+}
+
 TEST(HistogramQuantiles, MatchP2OnLatencyData) {
   MetricsRegistry reg;
   Histogram* h = reg.histogram("h", HistogramOptions::latency_ms());

@@ -135,6 +135,71 @@ TEST(ReplicationRunner, MismatchedMetricNamesThrow) {
       std::runtime_error);
 }
 
+ReplicateResult rich_scenario(std::uint64_t seed, std::size_t replicate) {
+  core::Rng rng(seed);
+  ReplicateResult r;
+  r.metrics.push_back({"replicate", static_cast<double>(replicate)});
+  DistributionValue offsets{"offset_ms", obs::HdrHistogram{}};
+  DistributionValue residuals{"resid_ms", obs::HdrHistogram{}};
+  for (int i = 0; i < 200; ++i) {
+    offsets.histogram.record(rng.normal(0.0, 25.0));
+    residuals.histogram.record(rng.lognormal(0.0, 1.0));
+  }
+  r.distributions.push_back(std::move(offsets));
+  r.distributions.push_back(std::move(residuals));
+  return r;
+}
+
+TEST(ReplicationRunner, RichScenarioMergesDistributionsAcrossReplicates) {
+  ReplicationRunner runner({.replicates = 4, .threads = 1});
+  const ReplicateReport report =
+      runner.run(8, ReplicationRunner::RichScenario(rich_scenario));
+
+  ASSERT_EQ(report.distributions.size(), 2u);
+  EXPECT_EQ(report.distributions[0].name, "offset_ms");
+  EXPECT_EQ(report.distributions[1].name, "resid_ms");
+  // 4 replicates x 200 samples each land in the merged histogram.
+  EXPECT_EQ(report.distributions[0].merged.count(), 800u);
+  EXPECT_EQ(report.find_distribution("offset_ms"),
+            &report.distributions[0]);
+  EXPECT_EQ(report.find_distribution("missing"), nullptr);
+  // Scalar metrics aggregate exactly as in the plain-scenario path.
+  const ReplicatedMetric* idx = report.find("replicate");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->per_replicate.size(), 4u);
+}
+
+TEST(ReplicationRunner, RichScenarioThreadCountDoesNotChangeDistributions) {
+  const ReplicationRunner::RichScenario scenario(rich_scenario);
+  ReplicationRunner serial({.replicates = 8, .threads = 1});
+  ReplicationRunner parallel({.replicates = 8, .threads = 4});
+  const ReplicateReport a = serial.run(8, scenario);
+  const ReplicateReport b = parallel.run(8, scenario);
+
+  ASSERT_EQ(a.distributions.size(), b.distributions.size());
+  for (std::size_t i = 0; i < a.distributions.size(); ++i) {
+    EXPECT_EQ(a.distributions[i].name, b.distributions[i].name);
+    // Bit-for-bit, not approximately: slot-order merging plus the
+    // order-insensitive HdrHistogram::merge make --threads invisible.
+    EXPECT_EQ(a.distributions[i].merged, b.distributions[i].merged);
+  }
+}
+
+TEST(ReplicationRunner, RichScenarioMismatchedDistributionNamesThrow) {
+  ReplicationRunner runner({.replicates = 2, .threads = 1});
+  EXPECT_THROW(
+      (void)runner.run(
+          0, ReplicationRunner::RichScenario(
+                 [](std::uint64_t, std::size_t replicate) {
+                   ReplicateResult r;
+                   r.metrics.push_back({"m", 1.0});
+                   r.distributions.push_back(
+                       {replicate == 0 ? "a" : "b", obs::HdrHistogram{}});
+                   return r;
+                 })),
+      std::runtime_error);
+}
+
 TEST(ReplicationRunner, ParallelRunInvokesEveryReplicateOnce) {
   std::atomic<int> calls{0};
   ReplicationRunner runner({.replicates = 32, .threads = 4});

@@ -41,6 +41,9 @@ struct Options {
   bool explain = false;      // print per-query timelines for query traces
   long long query_id = -1;   // explain a single query (-1: first --limit)
   std::size_t limit = 10;    // timelines shown in explain mode
+  bool timeline = false;     // `timeline` subcommand (explicit mode)
+  std::string series;        // timeline: only series containing this
+  std::size_t width = 64;    // timeline: sparkline columns
 };
 
 std::string format_labels(const Json& labels) {
@@ -75,6 +78,13 @@ int inspect_report(const std::string& path,
     if (lines[i].empty()) continue;
     auto parsed = Json::parse(lines[i]);
     if (!parsed.ok()) {
+      if (i + 1 == lines.size()) {
+        std::fprintf(stderr,
+                     "mntp-inspect: %s: truncated artifact (last line is "
+                     "not valid JSON)\n",
+                     path.c_str());
+        return 2;
+      }
       std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), i + 1,
                    parsed.error().message.c_str());
       return 1;
@@ -276,6 +286,13 @@ int inspect_query_trace(const std::string& path,
     if (lines[i].empty()) continue;
     auto parsed = Json::parse(lines[i]);
     if (!parsed.ok()) {
+      if (i + 1 == lines.size()) {
+        std::fprintf(stderr,
+                     "mntp-inspect: %s: truncated artifact (last line is "
+                     "not valid JSON)\n",
+                     path.c_str());
+        return 2;
+      }
       std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), i + 1,
                    parsed.error().message.c_str());
       return 1;
@@ -469,6 +486,163 @@ int inspect_bench(const std::string& path, const Json& doc) {
   return 0;
 }
 
+// -------------------------------------------------------------- timeline
+
+/// One decoded {"type":"series"} line of a timeline artifact.
+struct SeriesRow {
+  std::string name;
+  std::string labels;
+  std::string probe;
+  long long samples = 0;
+  long long stride = 1;
+  std::vector<double> t_s;     // per point: time of last folded sample
+  std::vector<double> mean;
+  std::vector<double> min;
+  std::vector<double> max;
+  double last = 0.0;
+};
+
+/// Resample `mean` into `width` buckets and render one sparkline cell per
+/// bucket, scaled to the series' own min..max.
+std::string sparkline(const SeriesRow& s, std::size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (s.mean.empty()) return "";
+  double lo = s.mean.front(), hi = s.mean.front();
+  for (double v : s.mean) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const std::size_t cols = std::min(width, s.mean.size());
+  std::string out;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t begin = c * s.mean.size() / cols;
+    const std::size_t end =
+        std::max(begin + 1, (c + 1) * s.mean.size() / cols);
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += s.mean[i];
+    const double v = acc / static_cast<double>(end - begin);
+    const double norm = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    const int level =
+        std::clamp(static_cast<int>(norm * 8.0), 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+int inspect_timeline(const std::string& path,
+                     const std::vector<std::string>& lines,
+                     const Options& opt) {
+  std::string run;
+  double sim_end_s = 0.0, cadence_s = 0.0;
+  long long declared_series = 0;
+  std::vector<SeriesRow> series;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    auto parsed = Json::parse(lines[i]);
+    if (!parsed.ok()) {
+      // A cleanly-written timeline parses line by line; a line that does
+      // not is a partial write (crashed bench, interrupted copy).
+      std::fprintf(stderr,
+                   "mntp-inspect: %s: truncated artifact (line %zu is not "
+                   "valid JSON)\n",
+                   path.c_str(), i + 1);
+      return 2;
+    }
+    const Json line = parsed.value();
+    const std::string& type = line["type"].as_string();
+    if (type == "meta") {
+      run = line["run"].as_string();
+      sim_end_s = static_cast<double>(line["sim_end_ns"].as_int()) / 1e9;
+      cadence_s = static_cast<double>(line["cadence_ns"].as_int()) / 1e9;
+      declared_series = line["series_count"].as_int();
+    } else if (type == "series") {
+      SeriesRow s;
+      s.name = line["name"].as_string();
+      s.labels = format_labels(line["labels"]);
+      s.probe = line["probe"].as_string();
+      s.samples = line["samples"].as_int();
+      s.stride = line["stride"].as_int();
+      for (const Json& p : line["points"].as_array()) {
+        const auto& a = p.as_array();
+        s.t_s.push_back(static_cast<double>(a[0].as_int()) / 1e9);
+        s.min.push_back(a[1].as_double());
+        s.mean.push_back(a[2].as_double());
+        s.max.push_back(a[3].as_double());
+        s.last = a[4].as_double();
+      }
+      series.push_back(std::move(s));
+    }
+  }
+  std::printf("timeline: %s\n  run=%s  sim_end=%.1fs  cadence=%.3fs  "
+              "%zu series (%lld declared)\n",
+              path.c_str(), run.c_str(), sim_end_s, cadence_s, series.size(),
+              declared_series);
+
+  std::size_t shown = 0;
+  for (const SeriesRow& s : series) {
+    if (!opt.series.empty() &&
+        s.name.find(opt.series) == std::string::npos) {
+      continue;
+    }
+    ++shown;
+    double lo = s.min.empty() ? 0.0 : s.min.front();
+    double hi = s.max.empty() ? 0.0 : s.max.front();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < s.mean.size(); ++i) {
+      lo = std::min(lo, s.min[i]);
+      hi = std::max(hi, s.max[i]);
+      acc += s.mean[i];
+    }
+    const double grand_mean =
+        s.mean.empty() ? 0.0 : acc / static_cast<double>(s.mean.size());
+    std::printf("\n%s%s%s  (%s, %lld samples, stride %lld, %zu points)\n",
+                s.name.c_str(), s.labels.empty() ? "" : "  ",
+                s.labels.c_str(), s.probe.c_str(), s.samples, s.stride,
+                s.t_s.size());
+    std::printf("  min %s  mean %s  max %s  last %s\n",
+                mntp::core::fmt_double(lo).c_str(),
+                mntp::core::fmt_double(grand_mean).c_str(),
+                mntp::core::fmt_double(hi).c_str(),
+                mntp::core::fmt_double(s.last).c_str());
+    if (!s.mean.empty()) {
+      std::printf("  %s  [%.0fs .. %.0fs]\n",
+                  sparkline(s, opt.width).c_str(), s.t_s.front(),
+                  s.t_s.back());
+    }
+    // Step changes: consecutive-point deltas that stand out against the
+    // series' own delta noise (same sigma rule as the offset anomaly
+    // check). Constant and smoothly-trending series flag nothing.
+    if (s.mean.size() >= 8) {
+      std::vector<double> deltas(s.mean.size() - 1);
+      for (std::size_t i = 1; i < s.mean.size(); ++i) {
+        deltas[i - 1] = s.mean[i] - s.mean[i - 1];
+      }
+      const double sd = mntp::core::summarize(deltas).stddev;
+      std::size_t flagged = 0, listed = 0;
+      for (std::size_t i = 0; i < deltas.size(); ++i) {
+        if (sd <= 0.0 || std::fabs(deltas[i]) <= opt.sigma * sd) continue;
+        if (flagged == 0) std::printf("  step changes (|delta| > %.1f sigma):\n", opt.sigma);
+        ++flagged;
+        if (listed < opt.max_rows) {
+          ++listed;
+          std::printf("    t=%9.1fs  %+10.3f -> %+10.3f  (delta %+.3f, "
+                      "%.1f sigma)\n",
+                      s.t_s[i + 1], s.mean[i], s.mean[i + 1], deltas[i],
+                      std::fabs(deltas[i]) / sd);
+        }
+      }
+      if (flagged > listed) std::printf("    ... %zu more\n", flagged - listed);
+    }
+  }
+  if (shown == 0 && !opt.series.empty()) {
+    std::fprintf(stderr, "mntp-inspect: no series matching '%s' in %s\n",
+                 opt.series.c_str(), path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 // -------------------------------------------------------------- dispatch
 
 int inspect_file(const std::string& path, const Options& opt) {
@@ -480,11 +654,24 @@ int inspect_file(const std::string& path, const Options& opt) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   const std::string content = buffer.str();
+  if (content.find_first_not_of(" \t\r\n") == std::string::npos) {
+    // A zero-byte (or whitespace-only) file is a distinct failure from an
+    // unrecognized one: the producing bench crashed before its first
+    // write, or the path was pre-created by the harness.
+    std::fprintf(stderr, "mntp-inspect: %s: empty artifact file\n",
+                 path.c_str());
+    return 2;
+  }
 
   // Whole-file JSON first (profile / bench results); on failure fall back
   // to JSONL (run report), whose second line makes whole-file parse fail.
   if (auto doc = Json::parse(content); doc.ok()) {
     const Json& json = doc.value();
+    if (opt.timeline) {
+      std::fprintf(stderr, "mntp-inspect: %s: not a timeline artifact\n",
+                   path.c_str());
+      return 1;
+    }
     if (json.has("traceEvents")) return inspect_profile(path, json);
     if (json["kind"].as_string() == "mntp_perf_suite") {
       return inspect_bench(path, json);
@@ -500,15 +687,33 @@ int inspect_file(const std::string& path, const Options& opt) {
   if (!lines.empty()) {
     if (auto first = Json::parse(lines.front());
         first.ok() && first.value()["type"].as_string() == "meta") {
-      if (first.value()["kind"].as_string() == "mntp_query_trace") {
+      const std::string& kind = first.value()["kind"].as_string();
+      if (kind == "mntp_timeline") {
+        return inspect_timeline(path, lines, opt);
+      }
+      if (opt.timeline) {
+        std::fprintf(stderr, "mntp-inspect: %s: not a timeline artifact\n",
+                     path.c_str());
+        return 1;
+      }
+      if (kind == "mntp_query_trace") {
         return inspect_query_trace(path, lines, opt);
       }
       return inspect_report(path, lines, opt);
     }
+    // A JSONL artifact whose FIRST line already fails to parse was cut
+    // off mid-write (every writer emits the meta line atomically first).
+    if (auto first = Json::parse(lines.front()); !first.ok()) {
+      std::fprintf(stderr,
+                   "mntp-inspect: %s: truncated artifact (first line is "
+                   "not valid JSON)\n",
+                   path.c_str());
+      return 2;
+    }
   }
   std::fprintf(stderr,
                "mntp-inspect: %s: not a run report, span profile, "
-               "perf-suite result or query trace\n",
+               "perf-suite result, query trace or timeline\n",
                path.c_str());
   return 1;
 }
@@ -520,9 +725,24 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "explain" && paths.empty() && !opt.explain) {
+    if (arg == "explain" && paths.empty() && !opt.explain && !opt.timeline) {
       // Subcommand: per-query timelines on top of the causation tables.
       opt.explain = true;
+    } else if (arg == "timeline" && paths.empty() && !opt.timeline &&
+               !opt.explain) {
+      // Subcommand: explicit timeline mode (the artifact kind is also
+      // auto-detected; the subcommand exists for --series/--width
+      // discoverability and to reject non-timeline inputs).
+      opt.timeline = true;
+    } else if (arg == "--series" && i + 1 < argc) {
+      opt.series = argv[++i];
+    } else if (arg.rfind("--series=", 0) == 0) {
+      opt.series = arg.substr(std::strlen("--series="));
+    } else if (arg == "--width" && i + 1 < argc) {
+      opt.width = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg.rfind("--width=", 0) == 0) {
+      opt.width = static_cast<std::size_t>(
+          std::atoll(arg.c_str() + std::strlen("--width=")));
     } else if (arg == "--sigma" && i + 1 < argc) {
       opt.sigma = std::atof(argv[++i]);
     } else if (arg.rfind("--sigma=", 0) == 0) {
@@ -540,11 +760,16 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: mntp-inspect [--sigma N] <file>...\n"
           "       mntp-inspect explain [--query ID] [--limit N] <trace>...\n"
+          "       mntp-inspect timeline [--series S] [--width N] <timeline>...\n"
           "  summarizes JSONL run reports, Chrome span profiles,\n"
-          "  BENCH_results.json files and query-trace JSONL (kind detected\n"
-          "  from content). `explain` adds per-query causal timelines for\n"
-          "  query traces (--query-trace-out artifacts).\n"
-          "  exit codes: 0 ok, 1 unreadable/unrecognized artifact, 2 usage\n");
+          "  BENCH_results.json files, query-trace and timeline JSONL (kind\n"
+          "  detected from content). `explain` adds per-query causal\n"
+          "  timelines for query traces (--query-trace-out artifacts);\n"
+          "  `timeline` renders --timeline-out artifacts as per-series\n"
+          "  sparklines with step-change flags (--series filters by\n"
+          "  substring, --width sets sparkline columns).\n"
+          "  exit codes: 0 ok, 1 unreadable/unrecognized artifact,\n"
+          "  2 usage or empty/truncated artifact\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "mntp-inspect: unknown flag %s\n", arg.c_str());
