@@ -6,10 +6,10 @@
 // given the same seeds, every experiment reproduces bit-identically.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
-#include <limits>
 #include <random>
 
 namespace mntp::core {
@@ -68,9 +68,20 @@ class Rng {
     return std::lognormal_distribution<double>{mu, sigma}(engine_);
   }
 
+  /// Smallest uniform variate `pareto` will raise to a negative power.
+  /// Inverse-transform sampling computes xm * u^(-1/alpha); without a
+  /// floor, a pathological near-zero u yields astronomically large
+  /// values that rely solely on downstream caps. 2^-53 is one ulp of
+  /// canonical [0,1) doubles, so the clamp binds with probability
+  /// ~2^-53 per draw while guaranteeing a hard tail bound.
+  static constexpr double kParetoMinU = 0x1p-53;
+
   /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed delays).
+  /// Bounds convention: results lie in [xm, xm * 2^(53/alpha)] — the
+  /// underlying uniform is clamped to [kParetoMinU, 1.0), so the heavy
+  /// tail is hard-capped independent of any downstream min().
   [[nodiscard]] double pareto(double xm, double alpha) {
-    const double u = uniform(std::numeric_limits<double>::min(), 1.0);
+    const double u = std::max(uniform(0.0, 1.0), kParetoMinU);
     return xm / std::pow(u, 1.0 / alpha);
   }
 

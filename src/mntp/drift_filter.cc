@@ -56,6 +56,7 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
     d.accepted = true;
     d.bootstrap = true;
     if (fit_) {
+      d.has_prediction = true;
       d.predicted_s = fit_->predict(ts);
       d.residual_s = offset_s - d.predicted_s;
     }
@@ -77,6 +78,7 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
   // residuals (mean + 1 sd gate, per the paper).
   if (!fit_) refit();
   if (fit_) {
+    d.has_prediction = true;
     d.predicted_s = fit_->predict(ts);
     d.residual_s = offset_s - d.predicted_s;
     // Mean + sd of squared residuals over the recent window only.

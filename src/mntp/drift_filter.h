@@ -45,6 +45,11 @@ struct DriftFilterConfig {
 /// Decision record for one offered sample.
 struct FilterDecision {
   bool accepted = false;
+  /// True when a trend existed at offer time, i.e. `predicted_s` and
+  /// `residual_s` are real extrapolations. Callers must branch on this,
+  /// not on `predicted_s != 0.0`: a legitimate trend crossing zero
+  /// predicts exactly 0.0.
+  bool has_prediction = false;
   /// Trend prediction at the sample time (seconds); 0 when no trend yet.
   double predicted_s = 0.0;
   /// Sample minus prediction (the residual), seconds.

@@ -199,7 +199,11 @@ MntpEngine::RoundResult MntpEngine::on_round(
 
     const FilterDecision fd = filter_.offer(t, uncorrected);
     rr.offset_s = measured;
-    rr.corrected_s = fd.accepted || fd.predicted_s != 0.0
+    // Residual against the trend when one exists; raw measured offset
+    // otherwise. `has_prediction`, not `predicted_s != 0.0` — a trend
+    // crossing zero predicts exactly 0.0 and its residual is still the
+    // right corrected value.
+    rr.corrected_s = fd.accepted || fd.has_prediction
                          ? fd.residual_s
                          : measured;
     if (fd.accepted) {

@@ -24,6 +24,7 @@ void ClockFilter::reset() {
   last_used_ = core::TimePoint::epoch();
   seen_ = 0;
   suppressed_ = 0;
+  popcorn_armed_ = false;
 }
 
 std::optional<PeerEstimate> ClockFilter::update(core::Duration offset,
@@ -32,23 +33,33 @@ std::optional<PeerEstimate> ClockFilter::update(core::Duration offset,
   ++seen_;
   samples_counter_->inc();
 
-  // Popcorn spike suppressor: a lone sample far from the current estimate
-  // is dropped (but jitter state below still reflects the shift if the
-  // next sample confirms it).
+  // Popcorn spike suppressor: a *lone* sample far from the current
+  // estimate is dropped. Suppressed samples never enter `stages_`, so a
+  // genuine level shift would otherwise be suppressed forever — the
+  // escape hatch admits the second consecutive out-of-gate sample (two
+  // in a row is a level shift, not a popcorn spike; same policy as
+  // ntpd's suppressor, see DESIGN.md §5).
   if (current_ && params_.popcorn_gate > 0.0) {
     const double jitter =
         std::max(current_->jitter_s, params_.popcorn_jitter_floor_s);
     const double dev_s = (offset - current_->offset).abs().to_seconds();
     if (dev_s > params_.popcorn_gate * jitter) {
-      ++suppressed_;
-      suppressed_counter_->inc();
-      if (auto q = obs::ambient_query(); q.tracer) {
-        q.tracer->stage(q.id, now, "clock_filter",
-                        obs::Reason::kPopcornSuppressed,
-                        {{"deviation_ms", dev_s * 1e3},
-                         {"gate_ms", params_.popcorn_gate * jitter * 1e3}});
+      if (!popcorn_armed_) {
+        popcorn_armed_ = true;
+        ++suppressed_;
+        suppressed_counter_->inc();
+        if (auto q = obs::ambient_query(); q.tracer) {
+          q.tracer->stage(q.id, now, "clock_filter",
+                          obs::Reason::kPopcornSuppressed,
+                          {{"deviation_ms", dev_s * 1e3},
+                           {"gate_ms", params_.popcorn_gate * jitter * 1e3}});
+        }
+        return std::nullopt;
       }
-      return std::nullopt;
+      // Second consecutive out-of-gate sample: admit it below.
+      popcorn_armed_ = false;
+    } else {
+      popcorn_armed_ = false;  // an in-gate sample disarms the hatch
     }
   }
 

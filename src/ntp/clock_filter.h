@@ -6,7 +6,10 @@
 // sample is the most trustworthy. Dispersion ages at 15 ppm between
 // samples; peer jitter is the RMS of the surviving offsets against the
 // nominated one. A popcorn spike suppressor discards a sample whose
-// offset jumps by more than `popcorn_gate` times the current jitter.
+// offset jumps by more than `popcorn_gate` times the current jitter; a
+// second consecutive out-of-gate sample is admitted so a genuine level
+// shift converges after one suppressed sample instead of starving the
+// filter forever.
 //
 // This is the machinery SNTP *omits* (the paper: SNTP "does not employ
 // the sophisticated clock correction and filtering algorithms of NTP"),
@@ -49,6 +52,8 @@ struct ClockFilterParams {
   /// last nominated offset by more than this many jitters. 0 disables
   /// (the default: the min-delay nomination already sidelines spikes, and
   /// a hard gate can starve the filter when jitter is estimated low).
+  /// The gate only ever swallows a lone spike: the second consecutive
+  /// out-of-gate sample is admitted (level-shift escape hatch).
   double popcorn_gate = 0.0;
   /// Floor on the jitter used by the popcorn gate, so a lucky streak of
   /// identical samples cannot collapse the gate to zero.
@@ -87,6 +92,9 @@ class ClockFilter {
   std::optional<PeerEstimate> current_;
   std::size_t seen_ = 0;
   std::size_t suppressed_ = 0;
+  /// Set while the previous sample was popcorn-suppressed: the next
+  /// out-of-gate sample is admitted (level-shift escape hatch).
+  bool popcorn_armed_ = false;
   obs::Counter* samples_counter_ = nullptr;
   obs::Counter* suppressed_counter_ = nullptr;
 };

@@ -105,5 +105,21 @@ TEST(Rng, ParetoScaleAndTail) {
   EXPECT_NEAR(percentile(xs, 50), 2.0 * std::pow(2.0, 1.0 / 1.5), 0.1);
 }
 
+TEST(Rng, ParetoTailIsHardBounded) {
+  // The underlying uniform is clamped to >= 2^-53, so every draw obeys
+  // xm * u^(-1/alpha) <= xm * 2^(53/alpha) with no downstream cap. The
+  // bound must be finite for the shapes the channel models use.
+  const double xm = 0.08, alpha = 1.5;
+  const double bound = xm * std::pow(2.0, 53.0 / alpha);
+  ASSERT_TRUE(std::isfinite(bound));
+  EXPECT_DOUBLE_EQ(Rng::kParetoMinU, std::pow(2.0, -53.0));
+  Rng rng(15);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.pareto(xm, alpha);
+    ASSERT_GE(x, xm);
+    ASSERT_LE(x, bound);
+  }
+}
+
 }  // namespace
 }  // namespace mntp::core

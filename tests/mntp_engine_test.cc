@@ -209,5 +209,31 @@ TEST(MntpEngine, EmptyRoundProducesNoRecord) {
   EXPECT_EQ(e.rounds(), 1u);
 }
 
+TEST(MntpEngine, RejectedSampleUsesResidualWhenTrendPredictsExactlyZero) {
+  // Regression: corrected_s used to branch on the float sentinel
+  // `predicted_s != 0.0`, so a rejected sample whose trend legitimately
+  // predicted exactly 0.0 s fell back to the raw measured offset. Build
+  // an *uncorrected-domain* trend crossing zero (a clock step shifts the
+  // uncorrected domain away from the measured one so the two answers
+  // differ) and check the residual is reported.
+  MntpParams p = head_to_head_params();
+  p.min_warmup_samples = 2;
+  MntpEngine e(p, TimePoint::epoch());
+  // The driver stepped the clock by -1 s before any round: uncorrected
+  // offsets are measured + 1.
+  e.note_clock_step(1.0);
+  // Uncorrected trend through (0 s, 2.0) and (2 s, 1.0): slope -0.5,
+  // predicts exactly 0.0 at t = 4 s.
+  ASSERT_TRUE(e.on_round(at_s(0.0), {1.0}).accepted);
+  ASSERT_TRUE(e.on_round(at_s(2.0), {0.0}).accepted);
+  // Far-off sample at the zero crossing: rejected by the gate.
+  const auto rr = e.on_round(at_s(4.0), {4.0});
+  ASSERT_FALSE(rr.accepted);
+  EXPECT_EQ(rr.outcome, SampleOutcome::kRejectedFilter);
+  // Residual in the uncorrected domain: (4.0 + 1.0) - 0.0 = 5.0. The
+  // sentinel bug reported the measured 4.0 instead.
+  EXPECT_DOUBLE_EQ(rr.corrected_s, 5.0);
+}
+
 }  // namespace
 }  // namespace mntp::protocol

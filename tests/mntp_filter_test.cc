@@ -136,6 +136,21 @@ TEST(DriftFilter, ReestimationTracksChangingSkew) {
   EXPECT_LT(run(true), run(false));
 }
 
+TEST(DriftFilter, HasPredictionDistinguishesZeroCrossingFromNoTrend) {
+  // A trend through (0 s, +1) and (2 s, -1) predicts exactly 0.0 at
+  // t = 1 s; the decision must still say has_prediction so callers do
+  // not mistake it for "no trend yet".
+  DriftFilter f({.bootstrap_samples = 2});
+  const auto d0 = f.offer(at_s(0.0), 1.0);
+  EXPECT_TRUE(d0.accepted);
+  EXPECT_FALSE(d0.has_prediction);  // no fit exists before 2 samples
+  (void)f.offer(at_s(2.0), -1.0);
+  const auto d = f.offer(at_s(1.0), 0.5);
+  EXPECT_TRUE(d.has_prediction);
+  EXPECT_DOUBLE_EQ(d.predicted_s, 0.0);
+  EXPECT_DOUBLE_EQ(d.residual_s, 0.5);
+}
+
 TEST(DriftFilter, ResetClearsState) {
   DriftFilter f({.bootstrap_samples = 3});
   for (int i = 0; i < 5; ++i) (void)f.offer(at_s(i), 0.0);

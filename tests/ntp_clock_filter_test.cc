@@ -95,6 +95,61 @@ TEST(ClockFilter, PopcornSuppressorSwallowsLoneSpike) {
   EXPECT_EQ(f.current()->offset, Duration::milliseconds(1));
 }
 
+TEST(ClockFilter, PersistentLevelShiftEscapesPopcornGate) {
+  // Regression: suppressed samples never enter the stage window, so
+  // before the escape hatch a genuine level shift was suppressed on
+  // every sample, forever. The second consecutive out-of-gate sample
+  // must be admitted and the filter must converge on the new level.
+  ClockFilterParams p;
+  p.popcorn_gate = 3.0;
+  p.popcorn_jitter_floor_s = 5e-3;
+  ClockFilter f(p);
+  (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(1));
+  (void)f.update(Duration::milliseconds(2), Duration::milliseconds(11), at_s(2));
+  // The clock steps by 500 ms and *stays* there.
+  EXPECT_FALSE(f.update(Duration::milliseconds(501), Duration::milliseconds(9),
+                        at_s(3))
+                   .has_value());
+  const auto est = f.update(Duration::milliseconds(502),
+                            Duration::milliseconds(8), at_s(4));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(f.samples_suppressed(), 1u);
+  // The admitted sample has the window's minimum delay: nominated.
+  EXPECT_EQ(est->offset, Duration::milliseconds(502));
+}
+
+TEST(ClockFilter, NonConsecutiveSpikesEachSuppressed) {
+  // An in-gate sample disarms the escape hatch: isolated popcorn spikes
+  // separated by good samples are each swallowed.
+  ClockFilterParams p;
+  p.popcorn_gate = 3.0;
+  ClockFilter f(p);
+  (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(1));
+  EXPECT_FALSE(f.update(Duration::milliseconds(400), Duration::milliseconds(12),
+                        at_s(2))
+                   .has_value());
+  EXPECT_TRUE(f.update(Duration::milliseconds(2), Duration::milliseconds(11),
+                       at_s(3))
+                  .has_value());
+  EXPECT_FALSE(f.update(Duration::milliseconds(-350), Duration::milliseconds(13),
+                        at_s(4))
+                   .has_value());
+  EXPECT_EQ(f.samples_suppressed(), 2u);
+}
+
+TEST(ClockFilter, MinDelayTieBreaksToOldestStage) {
+  // Pin the tie-breaking rule: with equal delays the *first* (oldest)
+  // stage wins the nomination — the strict `<` scan keeps the earliest
+  // minimum. Downstream freshness bookkeeping relies on this being
+  // stable, so a silent flip to last-wins would churn re-disciplines.
+  ClockFilter f;
+  (void)f.update(Duration::milliseconds(3), Duration::milliseconds(20), at_s(1));
+  const auto est = f.update(Duration::milliseconds(9), Duration::milliseconds(20),
+                            at_s(2));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->offset, Duration::milliseconds(3));
+}
+
 TEST(ClockFilter, PopcornDisabledByDefault) {
   ClockFilter f;  // default params
   (void)f.update(Duration::milliseconds(1), Duration::milliseconds(10), at_s(1));
