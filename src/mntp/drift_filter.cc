@@ -34,6 +34,7 @@ void DriftFilter::reset() {
   samples_.clear();
   fit_.reset();
   rejected_ = 0;
+  consecutive_rejections_ = 0;
   bootstrap_done_ = false;
 }
 
@@ -105,12 +106,24 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
                  config_.min_accept_band_s * config_.min_accept_band_s);
     const double err_sq = d.residual_s * d.residual_s;
     if (err_sq > gate) {
-      ++rejected_;
-      d.accepted = false;
-      trace_decision(t, /*accepted=*/false, /*bootstrap=*/false,
-                     d.residual_s, gate);
-      return d;
+      const bool escape =
+          config_.max_consecutive_rejections > 0 &&
+          consecutive_rejections_ >= config_.max_consecutive_rejections;
+      if (!escape) {
+        ++rejected_;
+        ++consecutive_rejections_;
+        d.accepted = false;
+        trace_decision(t, /*accepted=*/false, /*bootstrap=*/false,
+                       d.residual_s, gate);
+        return d;
+      }
+      // Rejection-starvation escape: the gate has rejected every sample
+      // for a while, which means the trend itself is the likelier
+      // culprit. Admit this one so the fit and the gate statistics can
+      // re-converge on reality.
+      d.forced = true;
     }
+    consecutive_rejections_ = 0;
     trace_decision(t, /*accepted=*/true, /*bootstrap=*/false, d.residual_s,
                    gate);
   }

@@ -40,6 +40,18 @@ struct DriftFilterConfig {
   /// line fits exactly, which would otherwise collapse the mean+sd gate
   /// to zero and reject everything — the §5.3 pathology).
   double min_accept_band_s = 0.015;
+  /// After this many consecutive gate rejections the next out-of-gate
+  /// sample is admitted anyway (0 disables the hatch, the default). The
+  /// gate's statistics are computed over *accepted* samples only, so a
+  /// trend mis-fitted from a short noisy bootstrap can reject every
+  /// later sample forever — nothing ever widens the gate or corrects
+  /// the fit. Admitting one sample both pulls the fit toward reality
+  /// and widens the gate, after which normal acceptance resumes.
+  /// Disabled by default because Algorithm 1's reset_period already
+  /// re-learns the trend in normal deployments (and a coherent
+  /// timescale step, e.g. a leap second, *should* stay rejected until
+  /// that reset); enable it in configurations that never reset.
+  std::size_t max_consecutive_rejections = 0;
 };
 
 /// Decision record for one offered sample.
@@ -56,6 +68,9 @@ struct FilterDecision {
   double residual_s = 0.0;
   /// True while the filter was still bootstrapping.
   bool bootstrap = false;
+  /// True when the sample was out of gate but admitted by the
+  /// consecutive-rejection escape hatch.
+  bool forced = false;
 };
 
 class DriftFilter {
@@ -101,6 +116,7 @@ class DriftFilter {
   std::vector<Sample> samples_;
   std::optional<core::LinearFit> fit_;
   std::size_t rejected_ = 0;
+  std::size_t consecutive_rejections_ = 0;
   bool bootstrap_done_ = false;
 };
 

@@ -15,6 +15,7 @@ DriftFilterConfig filter_config(const MntpParams& p) {
       .bootstrap_samples = p.min_warmup_samples,
       .reestimate_each_sample = p.reestimate_drift_each_sample,
       .max_samples = 0,
+      .max_consecutive_rejections = p.filter_max_consecutive_rejections,
   };
 }
 

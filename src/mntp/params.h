@@ -61,6 +61,11 @@ struct MntpParams {
   /// refinement). Disabling reproduces the "filter rejects everything"
   /// failure mode the tuner uncovered — kept as an ablation switch.
   bool reestimate_drift_each_sample = true;
+  /// Drift-filter rejection-starvation escape hatch: after this many
+  /// consecutive gate rejections the next sample is admitted so the
+  /// trend can re-converge (0 = disabled, the paper behaviour — rely on
+  /// reset_period to re-learn a broken trend). See DriftFilterConfig.
+  std::size_t filter_max_consecutive_rejections = 0;
   /// Apply accepted offsets to the system clock (vendor-specific in the
   /// paper; benches that only compare reported offsets leave this off).
   bool apply_corrections_to_clock = false;
@@ -83,6 +88,11 @@ struct MntpParams {
   // The paper still records 10 offsets to create the trend line before
   // the filter starts judging, even in the head-to-head runs.
   p.min_warmup_samples = 10;
+  // With reset_period effectively never, the escape hatch is the only
+  // recovery path when a noisy 10-sample bootstrap mis-pins the slope
+  // (10 points over 50 s leave ~100 ppm of slope noise; one deferral
+  // gap later the prediction can sit outside the gate forever).
+  p.filter_max_consecutive_rejections = 8;
   p.correct_drift = false;
   p.apply_corrections_to_clock = false;
   return p;

@@ -135,6 +135,9 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
 
   // MAC retry loop: each attempt independently fails with p_fail; a
   // failed attempt costs an exponential backoff before the next try.
+  // The final attempt's failure drops the packet outright — no backoff
+  // is drawn for a retry that never happens (a dead draw here would
+  // shift the RNG stream of every event after a drop).
   int retries = 0;
   bool delivered = false;
   core::Duration backoff = core::Duration::zero();
@@ -144,6 +147,7 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
       retries = attempt;
       break;
     }
+    if (attempt == params_.max_retries) break;
     backoff += core::Duration::from_seconds(
         rng_.exponential(params_.retry_backoff.to_seconds()) *
         static_cast<double>(attempt + 1));
@@ -153,7 +157,7 @@ TransmitResult WirelessChannel::transmit_dir(core::TimePoint now,
     if (auto q = obs::ambient_query(); q.tracer) {
       q.tracer->stage(q.id, now, "airtime", obs::Reason::kNone,
                       {{"dir", std::string(is_uplink ? "up" : "down")},
-                       {"retries", static_cast<std::int64_t>(params_.max_retries)},
+                       {"attempts", static_cast<std::int64_t>(params_.max_retries) + 1},
                        {"exhausted", true},
                        {"snr_db", snr.value()},
                        {"p_fail", p_fail}});

@@ -151,6 +151,40 @@ TEST(DriftFilter, HasPredictionDistinguishesZeroCrossingFromNoTrend) {
   EXPECT_DOUBLE_EQ(d.residual_s, 0.5);
 }
 
+TEST(DriftFilter, ConsecutiveRejectionEscapeRecoversRunawayTrend) {
+  // Regression for rejection starvation: a trend mis-fitted from a
+  // short noisy bootstrap (here a spurious 2000 ppm slope) rejects
+  // every later sample, and because the gate statistics only see
+  // accepted samples, nothing ever corrects it. The escape hatch must
+  // admit a sample after the configured run of rejections, after which
+  // the fit re-converges and normal acceptance resumes.
+  DriftFilter f({.bootstrap_samples = 4, .max_consecutive_rejections = 4});
+  for (int i = 0; i < 4; ++i) (void)f.offer(at_s(i * 5.0), 2e-3 * i * 5.0);
+  // Reality: the clock is actually flat at zero offset.
+  int forced = 0, accepted_normally = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto d = f.offer(at_s(100.0 + i * 5.0), 0.0);
+    if (d.forced) ++forced;
+    if (d.accepted && !d.forced) ++accepted_normally;
+  }
+  EXPECT_EQ(forced, 1);  // one forced admission, then the gate re-opens
+  EXPECT_GE(accepted_normally, 10);
+  // The stale bootstrap points still tilt the fit slightly, but the
+  // 2000 ppm runaway is gone by an order of magnitude.
+  const auto drift = f.drift_s_per_s();
+  ASSERT_TRUE(drift.has_value());
+  EXPECT_LT(std::fabs(*drift), 2e-4);
+}
+
+TEST(DriftFilter, EscapeHatchDisabledRejectsForever) {
+  DriftFilter f({.bootstrap_samples = 4, .max_consecutive_rejections = 0});
+  for (int i = 0; i < 4; ++i) (void)f.offer(at_s(i * 5.0), 2e-3 * i * 5.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(f.offer(at_s(100.0 + i * 5.0), 0.0).accepted);
+  }
+  EXPECT_EQ(f.rejected_count(), 20u);
+}
+
 TEST(DriftFilter, ResetClearsState) {
   DriftFilter f({.bootstrap_samples = 3});
   for (int i = 0; i < 5; ++i) (void)f.offer(at_s(i), 0.0);

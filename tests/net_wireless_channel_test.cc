@@ -30,6 +30,33 @@ TEST(WirelessChannel, DeterministicPerSeed) {
   }
 }
 
+TEST(WirelessChannel, DropConsumesNoBackoffDraw) {
+  // Regression: the final failed attempt used to draw an exponential
+  // backoff for a retry that never happens, silently shifting the RNG
+  // stream of every event after a drop. With max_retries = 0 and a
+  // guaranteed collision, a drop must consume exactly as many draws as
+  // a clean first-attempt delivery (one bernoulli), so two channels
+  // sharing a seed stay in lockstep afterwards.
+  WirelessChannelParams p;
+  p.max_retries = 0;
+  p.collision_at_full_load = 1.0;
+  WirelessChannel drop_ch(p, Rng(21));
+  WirelessChannel deliver_ch(p, Rng(21));
+  drop_ch.set_utilization(1.0);  // p_fail clamps to 1: certain drop
+  deliver_ch.set_utilization(0.0);
+  ASSERT_FALSE(drop_ch.transmit_dir(at_s(1), 76, true).delivered);
+  ASSERT_TRUE(deliver_ch.transmit_dir(at_s(1), 76, true).delivered);
+  // Equalize the deterministic load-dependent noise term, then compare
+  // hint streams: any dead draw on the drop path desynchronizes them.
+  drop_ch.set_utilization(0.0);
+  for (int i = 2; i <= 20; ++i) {
+    const auto ha = drop_ch.observe_hints(at_s(i));
+    const auto hb = deliver_ch.observe_hints(at_s(i));
+    ASSERT_DOUBLE_EQ(ha.rssi.value(), hb.rssi.value());
+    ASSERT_DOUBLE_EQ(ha.noise.value(), hb.noise.value());
+  }
+}
+
 TEST(WirelessChannel, TimeBackwardsThrows) {
   WirelessChannel c(WirelessChannelParams{}, Rng(1));
   (void)c.observe_hints(at_s(10));
