@@ -119,6 +119,56 @@ void BM_WirelessChannelTransmit(benchmark::State& state) {
 }
 BENCHMARK(BM_WirelessChannelTransmit);
 
+void BM_WirelessChannelTransmitCoarse(benchmark::State& state) {
+  net::WirelessChannelParams params;
+  params.coarse_ou_advance = true;
+  params.use_snr_lut = true;
+  net::WirelessChannel channel(params, core::Rng(5));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 100'000'000;  // 100 ms apart
+    auto r = channel.transmit_dir(core::TimePoint::from_ns(t), 76, true);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WirelessChannelTransmitCoarse);
+
+void BM_RngNormal(benchmark::State& state) {
+  core::Rng rng(7);
+  for (auto _ : state) {
+    double x = rng.normal(0.0, 1.0);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_RngNormalFast(benchmark::State& state) {
+  core::Rng rng(7);
+  for (auto _ : state) {
+    double x = rng.normal_fast(0.0, 1.0);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_RngNormalFast);
+
+void BM_RngExponential(benchmark::State& state) {
+  core::Rng rng(7);
+  for (auto _ : state) {
+    double x = rng.exponential(1.0);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngExponentialFast(benchmark::State& state) {
+  core::Rng rng(7);
+  for (auto _ : state) {
+    double x = rng.exponential_fast(1.0);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_RngExponentialFast);
+
 void BM_EngineRound(benchmark::State& state) {
   protocol::MntpEngine engine(protocol::head_to_head_params(),
                               core::TimePoint::epoch());

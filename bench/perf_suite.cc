@@ -37,6 +37,7 @@
 #include "mntp/engine.h"
 #include "mntp/trace.h"
 #include "mntp/tuner.h"
+#include "net/wireless_channel.h"
 #include "obs/trace_event.h"
 #include "sim/simulation.h"
 
@@ -219,6 +220,49 @@ std::vector<Workload> build_workloads() {
     sim.after(core::Duration::from_millis(0.5), [&] { tick(); });
     sim.run();
     sink = fired;
+  }});
+
+  // Wireless channel: 20k acquisition-shaped interactions (hint sample +
+  // both-direction transmits) spaced 5 s apart — dominated by the OU
+  // tick integrator, which pays 2 normal draws per 100 ms of idle gap.
+  workloads.push_back({"channel_transmit", [] {
+    net::WirelessChannel channel({}, core::Rng(14));
+    channel.set_utilization(0.35);
+    static volatile std::size_t sink;
+    std::size_t delivered = 0;
+    std::int64_t t = 0;
+    for (int i = 0; i < 20'000; ++i) {
+      t += 5'000'000'000;
+      const auto now = core::TimePoint::from_ns(t);
+      const net::WirelessHints hints = channel.observe_hints(now);
+      delivered += hints.rssi.value() > -200.0;  // keep hints observable
+      delivered += channel.transmit_dir(now, 90, true).delivered;
+      delivered += channel.transmit_dir(now, 90, false).delivered;
+    }
+    sink = delivered;
+  }});
+
+  // Same interaction pattern with the opt-in fast paths (closed-form OU
+  // advance + SNR lookup table): gap cost becomes O(1), quantifying what
+  // the coarse model buys a long-horizon simulation.
+  workloads.push_back({"channel_transmit_coarse", [] {
+    net::WirelessChannelParams params;
+    params.coarse_ou_advance = true;
+    params.use_snr_lut = true;
+    net::WirelessChannel channel(params, core::Rng(14));
+    channel.set_utilization(0.35);
+    static volatile std::size_t sink;
+    std::size_t delivered = 0;
+    std::int64_t t = 0;
+    for (int i = 0; i < 20'000; ++i) {
+      t += 5'000'000'000;
+      const auto now = core::TimePoint::from_ns(t);
+      const net::WirelessHints hints = channel.observe_hints(now);
+      delivered += hints.rssi.value() > -200.0;
+      delivered += channel.transmit_dir(now, 90, true).delivered;
+      delivered += channel.transmit_dir(now, 90, false).delivered;
+    }
+    sink = delivered;
   }});
 
   // Replication harness: fan 16 small engine scenarios out over 4 pool

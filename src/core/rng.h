@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <random>
+#include <span>
 
 namespace mntp::core {
 
@@ -22,6 +23,18 @@ namespace mntp::core {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
+}
+
+/// The stream-derivation rule: seed for stream `stream` of a subsystem
+/// rooted at `base`. Adjacent stream indices land in statistically
+/// unrelated parts of seed space (golden-ratio stride through the
+/// splitmix64 finalizer), so a component can mint any number of
+/// independent child streams without coordinating with its siblings.
+/// `sim::replicate_seed` is the special case replicate 0 ↦ base,
+/// replicate r>0 ↦ derive_stream_seed(base, r-1).
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t base,
+                                                         std::uint64_t stream) {
+  return splitmix64(base + stream * 0x9E3779B97F4A7C15ull);
 }
 
 class Rng {
@@ -88,8 +101,61 @@ class Rng {
   /// Raw 64-bit draw (for deriving sub-seeds).
   [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
 
+  // --- Fast inline paths -------------------------------------------------
+  //
+  // The std::*_distribution wrappers above construct a distribution
+  // object per call and their draw sequences are libstdc++
+  // implementation details. The `_fast` variants below are
+  // self-contained, draw-count documented, and cheap to inline — but
+  // they consume the engine differently, so they are NOT drop-in
+  // replacements on an existing stream: switching a call site changes
+  // every downstream result. Use them for new code and for opt-in
+  // model variants.
+
+  /// Canonical uniform in [0,1): top 53 bits of exactly one engine
+  /// draw.
+  [[nodiscard]] double canonical() {
+    return static_cast<double>(engine_() >> 11) * 0x1p-53;
+  }
+
+  /// Exponential with the given mean by inverse transform; exactly one
+  /// engine draw per call. log1p(-u) keeps precision for small u and is
+  /// finite for all u in [0,1).
+  [[nodiscard]] double exponential_fast(double mean) {
+    return -mean * std::log1p(-canonical());
+  }
+
+  /// Gaussian via the Marsaglia polar method with the spare deviate
+  /// cached: amortized ~1.27 engine-draw pairs per two results, no
+  /// transcendental calls beyond one log+sqrt per pair.
+  [[nodiscard]] double normal_fast(double mean, double stddev) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * canonical() - 1.0;
+      v = 2.0 * canonical() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return mean + stddev * u * m;
+  }
+
+  /// Batch-fill `out` with independent normal_fast draws — hot loops
+  /// that consume deviates in blocks amortize the call overhead and the
+  /// polar method's pair structure.
+  void fill_normal(std::span<double> out, double mean, double stddev) {
+    for (double& x : out) x = normal_fast(mean, stddev);
+  }
+
  private:
   std::mt19937_64 engine_;
+  double spare_ = 0.0;       // cached second polar deviate
+  bool have_spare_ = false;  // normal_fast spare validity
 };
 
 }  // namespace mntp::core

@@ -32,21 +32,17 @@ DriftFilter::DriftFilter(DriftFilterConfig config) : config_(config) {
 
 void DriftFilter::reset() {
   samples_.clear();
+  acc_.reset();
   fit_.reset();
   rejected_ = 0;
   consecutive_rejections_ = 0;
   bootstrap_done_ = false;
 }
 
-void DriftFilter::refit() {
-  std::vector<double> xs, ys;
-  xs.reserve(samples_.size());
-  ys.reserve(samples_.size());
-  for (const Sample& s : samples_) {
-    xs.push_back(s.t_s);
-    ys.push_back(s.offset_s);
-  }
-  fit_ = core::least_squares(xs, ys);
+void DriftFilter::rebuild_fit() {
+  acc_.reset();
+  for (const Sample& s : samples_) acc_.add(s.t_s, s.offset_s);
+  fit_ = acc_.fit();
 }
 
 FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
@@ -62,7 +58,8 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
       d.residual_s = offset_s - d.predicted_s;
     }
     samples_.push_back({ts, offset_s});
-    refit();
+    acc_.add(ts, offset_s);
+    fit_ = acc_.fit();
     if (samples_.size() >= config_.bootstrap_samples) {
       bootstrap_done_ = true;
       // Bootstrap complete: drop the outliers that slipped in unguarded
@@ -77,27 +74,30 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
   // Squared error of the new sample against the extrapolated trend,
   // judged against the distribution of the accepted samples' squared
   // residuals (mean + 1 sd gate, per the paper).
-  if (!fit_) refit();
+  if (!fit_) rebuild_fit();
   if (fit_) {
     d.has_prediction = true;
     d.predicted_s = fit_->predict(ts);
     d.residual_s = offset_s - d.predicted_s;
-    // Mean + sd of squared residuals over the recent window only.
+    // Mean + sd of squared residuals over the recent window only. One
+    // prediction per sample, squared residuals cached in the scratch
+    // buffer for the variance pass.
     const std::size_t begin =
         config_.stats_window > 0 && samples_.size() > config_.stats_window
             ? samples_.size() - config_.stats_window
             : 0;
     const auto window_n = static_cast<double>(samples_.size() - begin);
+    scratch_sq_.clear();
     double mean_sq = 0.0;
     for (std::size_t i = begin; i < samples_.size(); ++i) {
       const double r = samples_[i].offset_s - fit_->predict(samples_[i].t_s);
+      scratch_sq_.push_back(r * r);
       mean_sq += r * r;
     }
     mean_sq /= window_n;
     double var_sq = 0.0;
-    for (std::size_t i = begin; i < samples_.size(); ++i) {
-      const double r = samples_[i].offset_s - fit_->predict(samples_[i].t_s);
-      const double dev = r * r - mean_sq;
+    for (const double sq : scratch_sq_) {
+      const double dev = sq - mean_sq;
       var_sq += dev * dev;
     }
     var_sq /= window_n;
@@ -131,38 +131,50 @@ FilterDecision DriftFilter::offer(core::TimePoint t, double offset_s) {
   d.accepted = true;
   samples_.push_back({ts, offset_s});
   if (config_.max_samples > 0 && samples_.size() > config_.max_samples) {
+    // Window eviction changes the first sample: rebuild so the
+    // accumulator re-centers, exactly as a from-scratch refit would.
     samples_.erase(samples_.begin());
+    if (config_.reestimate_each_sample) rebuild_fit();
+  } else if (config_.reestimate_each_sample) {
+    // Append-only: extend the running sums in O(1). Identical to the
+    // old refit-over-everything because the add sequence (and thus
+    // every intermediate rounding) is the same.
+    acc_.add(ts, offset_s);
+    fit_ = acc_.fit();
   }
-  if (config_.reestimate_each_sample) refit();
   return d;
 }
 
 void DriftFilter::prune_and_refit() {
   if (samples_.size() < 3) return;
-  if (!fit_) refit();
+  if (!fit_) rebuild_fit();
   if (!fit_) return;
   double mean_sq = 0.0;
-  std::vector<double> sq(samples_.size());
-  for (std::size_t i = 0; i < samples_.size(); ++i) {
-    const double r = samples_[i].offset_s - fit_->predict(samples_[i].t_s);
-    sq[i] = r * r;
-    mean_sq += sq[i];
+  scratch_sq_.clear();
+  for (const Sample& s : samples_) {
+    const double r = s.offset_s - fit_->predict(s.t_s);
+    scratch_sq_.push_back(r * r);
+    mean_sq += r * r;
   }
   mean_sq /= static_cast<double>(samples_.size());
   double var = 0.0;
-  for (double s : sq) var += (s - mean_sq) * (s - mean_sq);
+  for (double s : scratch_sq_) var += (s - mean_sq) * (s - mean_sq);
   var /= static_cast<double>(samples_.size());
   const double gate = mean_sq + std::sqrt(var);
 
-  std::vector<Sample> kept;
-  kept.reserve(samples_.size());
+  std::size_t keep_n = 0;
+  for (const double sq : scratch_sq_) {
+    if (sq <= gate) ++keep_n;
+  }
+  if (keep_n < 2) return;
+  // Compact the survivors in place (order preserved), then rebuild the
+  // re-centered fit over them.
+  std::size_t out = 0;
   for (std::size_t i = 0; i < samples_.size(); ++i) {
-    if (sq[i] <= gate) kept.push_back(samples_[i]);
+    if (scratch_sq_[i] <= gate) samples_[out++] = samples_[i];
   }
-  if (kept.size() >= 2) {
-    samples_ = std::move(kept);
-    refit();
-  }
+  samples_.resize(keep_n);
+  rebuild_fit();
 }
 
 std::optional<double> DriftFilter::drift_s_per_s() const {

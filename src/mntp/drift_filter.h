@@ -107,14 +107,25 @@ class DriftFilter {
     double offset_s;
   };
 
-  void refit();
+  /// Rebuild the running accumulator from `samples_` and refresh `fit_`.
+  /// Needed whenever the sample set shrinks (prune, window eviction):
+  /// the accumulator centers on the first sample's x, so a new first
+  /// sample means a new origin. Append-only growth never calls this —
+  /// `offer` extends the accumulator in O(1), which is bit-identical to
+  /// a from-scratch refit because `core::least_squares` is itself just
+  /// sequential `IncrementalLinReg::add` calls over the same sequence.
+  void rebuild_fit();
   [[nodiscard]] double time_axis(core::TimePoint t) const {
     return t.to_seconds();
   }
 
   DriftFilterConfig config_;
   std::vector<Sample> samples_;
+  core::IncrementalLinReg acc_;
   std::optional<core::LinearFit> fit_;
+  /// Scratch for squared residuals (gate stats, pruning); reused across
+  /// calls so the steady-state offer path never heap-allocates.
+  std::vector<double> scratch_sq_;
   std::size_t rejected_ = 0;
   std::size_t consecutive_rejections_ = 0;
   bool bootstrap_done_ = false;

@@ -190,8 +190,9 @@ MntpEngine::RoundResult MntpEngine::on_round(
   const Phase decision_phase = phase_;
   if (!offsets_s.empty()) {
     // Multi-source false-ticker vote (warm-up; a single source passes
-    // through untouched).
-    const auto survivors = reject_false_tickers(offsets_s, t);
+    // through untouched). The survivor buffer is reused round to round.
+    reject_false_tickers(offsets_s, survivors_scratch_, t);
+    const auto& survivors = survivors_scratch_;
     const bool any_rejected = survivors.size() != offsets_s.size();
     const double measured = combine_surviving_offsets(offsets_s, survivors);
     // Uncorrected domain: add back the corrections the driver applied so

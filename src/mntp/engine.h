@@ -166,6 +166,9 @@ class MntpEngine {
   Phase phase_ = Phase::kWarmup;
   core::TimePoint cycle_start_;
   DriftFilter filter_;
+  /// Reused by the per-round false-ticker vote so steady-state rounds
+  /// don't allocate a survivors vector.
+  std::vector<std::size_t> survivors_scratch_;
   double cum_step_s_ = 0.0;
   double cum_freq_s_ = 0.0;        // integrated frequency compensation
   double comp_ppm_ = 0.0;          // active compensation

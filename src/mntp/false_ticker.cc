@@ -11,11 +11,19 @@ namespace mntp::protocol {
 std::vector<std::size_t> reject_false_tickers(std::span<const double> offsets_s,
                                               core::TimePoint now) {
   std::vector<std::size_t> survivors;
+  reject_false_tickers(offsets_s, survivors, now);
+  return survivors;
+}
+
+void reject_false_tickers(std::span<const double> offsets_s,
+                          std::vector<std::size_t>& survivors,
+                          core::TimePoint now) {
+  survivors.clear();
   const std::size_t n = offsets_s.size();
   survivors.reserve(n);
   if (n < 3) {
     for (std::size_t i = 0; i < n; ++i) survivors.push_back(i);
-    return survivors;
+    return;
   }
   double mean = 0.0;
   for (double o : offsets_s) mean += o;
@@ -31,6 +39,7 @@ std::vector<std::size_t> reject_false_tickers(std::span<const double> offsets_s,
   // fall back to keeping all rather than stalling the warm-up.
   const bool degenerate = survivors.empty();
   if (degenerate) {
+    survivors.clear();
     for (std::size_t i = 0; i < n; ++i) survivors.push_back(i);
   }
   if (auto q = mntp::obs::ambient_query(); q.tracer) {
@@ -54,7 +63,6 @@ std::vector<std::size_t> reject_false_tickers(std::span<const double> offsets_s,
                      {"voted_out", voted_out},
                      {"degenerate", degenerate}});
   }
-  return survivors;
 }
 
 double combine_surviving_offsets(std::span<const double> offsets_s,

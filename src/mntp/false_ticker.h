@@ -28,6 +28,13 @@ namespace mntp::protocol {
     std::span<const double> offsets_s,
     core::TimePoint now = core::TimePoint::epoch());
 
+/// As above, but writes the surviving indices into `survivors` (cleared
+/// first). Lets a per-round caller reuse one buffer instead of
+/// allocating a fresh vector every vote.
+void reject_false_tickers(std::span<const double> offsets_s,
+                          std::vector<std::size_t>& survivors,
+                          core::TimePoint now = core::TimePoint::epoch());
+
 /// Mean of the surviving offsets — the combined round offset. Requires a
 /// non-empty survivor list.
 [[nodiscard]] double combine_surviving_offsets(

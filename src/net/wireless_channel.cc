@@ -19,6 +19,10 @@ WirelessChannel::WirelessChannel(WirelessChannelParams params, core::Rng rng)
   if (params_.max_retries < 0) {
     throw std::invalid_argument("WirelessChannel: max_retries must be >= 0");
   }
+  if (params_.snr_slope_db <= 0.0) {
+    throw std::invalid_argument("WirelessChannel: snr_slope_db must be > 0");
+  }
+  if (params_.use_snr_lut) build_snr_lut();
   obs::MetricsRegistry& m = telemetry_->metrics();
   for (int d = 0; d < 2; ++d) {
     const obs::Labels dir{{"dir", d == 0 ? "up" : "down"}};
@@ -68,6 +72,25 @@ void WirelessChannel::advance_to(core::TimePoint t) {
                               .to_seconds();
     next_transition_ += core::Duration::from_seconds(rng_.exponential(mean_s));
   }
+  if (params_.coarse_ou_advance) {
+    // One exact OU transition across the whole gap: X(t+g) has mean
+    // e^{-g/tau} X(t) and variance sigma^2 (1 - e^{-2g/tau}). Cost is
+    // independent of the gap length, where the tick integrator below
+    // pays 2 normal draws per 100 ms of simulated idle time.
+    if (last_ < t) {
+      const double gap = (t - last_).to_seconds();
+      const double d_sh = std::exp(-gap / params_.shadowing_tau_s);
+      shadow_db_ = d_sh * shadow_db_ +
+                   params_.shadowing_sigma_db * std::sqrt(1.0 - d_sh * d_sh) *
+                       rng_.normal_fast(0.0, 1.0);
+      const double d_no = std::exp(-gap / params_.noise_tau_s);
+      noise_wander_db_ = d_no * noise_wander_db_ +
+                         params_.noise_sigma_db * std::sqrt(1.0 - d_no * d_no) *
+                             rng_.normal_fast(0.0, 1.0);
+      last_ = t;
+    }
+    return;
+  }
   // OU processes, integrated in fixed ticks for query-order independence.
   while (last_ < t) {
     const core::TimePoint next = std::min(t, last_ + params_.tick);
@@ -114,10 +137,45 @@ WirelessHints WirelessChannel::observe_hints(core::TimePoint now) {
   };
 }
 
-double WirelessChannel::attempt_failure_probability(core::Decibels snr) const {
+void WirelessChannel::build_snr_lut() {
+  // Grid sized for a guaranteed interpolation error bound: linear
+  // interpolation of f on step h errs at most h^2 max|f''| / 8, and the
+  // logistic in dB has max|f''| = 1/(6 sqrt(3) slope^2) ≈ 0.0962/slope^2.
+  // h = slope/36 gives error <= 0.0962 (1/36)^2 / 8 < 9.3e-6, so the
+  // bound is <= 1e-5 for every slope. Span ±20 slopes: beyond it the
+  // clamped endpoint value is within 1/(1+e^20) ≈ 2.1e-9 of exact.
+  constexpr int kHalfSpanSlopes = 20;
+  constexpr int kStepsPerSlope = 36;
+  const double step_db = params_.snr_slope_db / kStepsPerSlope;
+  const int n = 2 * kHalfSpanSlopes * kStepsPerSlope + 1;
+  snr_lut_lo_db_ = params_.snr50_db - kHalfSpanSlopes * params_.snr_slope_db;
+  snr_lut_inv_step_ = 1.0 / step_db;
+  snr_lut_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double snr_db = snr_lut_lo_db_ + i * step_db;
+    snr_lut_[static_cast<std::size_t>(i)] =
+        1.0 /
+        (1.0 + std::exp((snr_db - params_.snr50_db) / params_.snr_slope_db));
+  }
+}
+
+double WirelessChannel::snr_failure_probability(double snr_db) const {
+  if (!snr_lut_.empty()) {
+    const double x = (snr_db - snr_lut_lo_db_) * snr_lut_inv_step_;
+    if (x <= 0.0) return snr_lut_.front();
+    const double max_x = static_cast<double>(snr_lut_.size() - 1);
+    if (x >= max_x) return snr_lut_.back();
+    const std::size_t i = static_cast<std::size_t>(x);
+    const double frac = x - static_cast<double>(i);
+    return snr_lut_[i] + frac * (snr_lut_[i + 1] - snr_lut_[i]);
+  }
   // Logistic in SNR margin: ~0 above snr50 + a few slopes, ~1 well below.
-  const double p_snr =
-      1.0 / (1.0 + std::exp((snr.value() - params_.snr50_db) / params_.snr_slope_db));
+  return 1.0 /
+         (1.0 + std::exp((snr_db - params_.snr50_db) / params_.snr_slope_db));
+}
+
+double WirelessChannel::attempt_failure_probability(core::Decibels snr) const {
+  const double p_snr = snr_failure_probability(snr.value());
   const double p_collision = params_.collision_at_full_load * utilization_;
   return std::clamp(p_snr + (1.0 - p_snr) * p_collision, 0.0, 1.0);
 }

@@ -21,6 +21,8 @@
 // same channel state.
 #pragma once
 
+#include <vector>
+
 #include "core/rng.h"
 #include "core/time.h"
 #include "core/units.h"
@@ -91,6 +93,26 @@ struct WirelessChannelParams {
 
   /// Integration step for the OU processes.
   core::Duration tick = core::Duration::milliseconds(100);
+
+  // --- Opt-in fast paths (both default off) -----------------------------
+  //
+  // Neither is enabled in the paper-reproduction configurations: the LUT
+  // perturbs attempt-failure probabilities by up to its interpolation
+  // error (a borderline Bernoulli draw can flip), and the coarse advance
+  // draws the OU processes differently, so enabling either changes
+  // realizations even though the modeled distributions are unchanged.
+
+  /// Replace the per-attempt logistic evaluation with a precomputed
+  /// lookup table (linear interpolation; |error| <= 1e-5 for any slope,
+  /// see WirelessChannel::snr_failure_probability).
+  bool use_snr_lut = false;
+  /// Advance the OU shadowing/noise processes across an idle gap in one
+  /// exact transition step (decay e^{-gap/tau}, innovation variance
+  /// sigma^2 (1 - e^{-2 gap/tau})) instead of fixed ticks. Exact at any
+  /// horizon — the tick integrator is only an Euler approximation — but
+  /// one draw per advance means the realization depends on *when* the
+  /// channel is queried, not just on the seed.
+  bool coarse_ou_advance = false;
 };
 
 class WirelessChannel {
@@ -129,6 +151,11 @@ class WirelessChannel {
 
   [[nodiscard]] const WirelessChannelParams& params() const { return params_; }
 
+  /// Probability that a single MAC attempt fails from SNR alone (no
+  /// collision term): the logistic curve, or its lookup table when
+  /// `use_snr_lut` is set. Public so tests can pin the LUT error bound.
+  [[nodiscard]] double snr_failure_probability(double snr_db) const;
+
  private:
   class Endpoint final : public Link {
    public:
@@ -145,6 +172,7 @@ class WirelessChannel {
 
   void advance_to(core::TimePoint t);
   [[nodiscard]] double attempt_failure_probability(core::Decibels snr) const;
+  void build_snr_lut();
 
   Endpoint uplink_endpoint_{*this, true};
   Endpoint downlink_endpoint_{*this, false};
@@ -158,6 +186,13 @@ class WirelessChannel {
   core::TimePoint next_transition_;
   double shadow_db_ = 0.0;
   double noise_wander_db_ = 0.0;
+
+  // SNR-failure lookup table (built only when params_.use_snr_lut):
+  // uniform grid over snr50 ± 20 slopes; outside that span the logistic
+  // is within 2.1e-9 of its asymptote, so lookups clamp to the ends.
+  std::vector<double> snr_lut_;
+  double snr_lut_lo_db_ = 0.0;    // SNR at table index 0
+  double snr_lut_inv_step_ = 0.0; // indices per dB
 
   // Telemetry handles (per direction: [0]=up, [1]=down), bound at
   // construction to the then-current global obs context.

@@ -1,5 +1,7 @@
 #include "obs/query_trace.h"
 
+#include <algorithm>
+
 #include <fstream>
 #include <utility>
 
@@ -110,7 +112,19 @@ std::string QueryTracer::to_jsonl(std::string_view run,
         .end_object();
   }
   out += '\n';
-  for (const QueryTrace& trace : traces_) {
+  // Emit in id order. Queries are *stored* in insertion order, and
+  // concurrent minters (parallel replicates, tuner workers) can insert
+  // in a different order than they minted — the artifact contract is
+  // strictly increasing ids regardless of producer interleaving.
+  std::vector<const QueryTrace*> ordered;
+  ordered.reserve(traces_.size());
+  for (const QueryTrace& trace : traces_) ordered.push_back(&trace);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const QueryTrace* a, const QueryTrace* b) {
+              return a->id < b->id;
+            });
+  for (const QueryTrace* trace_ptr : ordered) {
+    const QueryTrace& trace = *trace_ptr;
     core::JsonWriter w(out);
     w.begin_object()
         .kv("type", "query")

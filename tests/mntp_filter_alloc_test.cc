@@ -1,0 +1,123 @@
+// Allocation-count regression test for the per-round filter hot path:
+// once warm (sample window at its bound, scratch buffers grown),
+// DriftFilter::offer and ClockFilter::update must perform ZERO heap
+// allocations — accepted samples, rejections, window eviction and the
+// popcorn suppressor included. Uses the same global operator new/delete
+// counting hook as sim_event_alloc_test.cc (one hook per test binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "mntp/drift_filter.h"
+#include "ntp/clock_filter.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Replace the global allocator with a counting passthrough. Linked only
+// into this test binary; all overloads funnel through the same counter
+// so any allocation path (sized, array, nothrow) is visible.
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace mntp {
+namespace {
+
+TEST(FilterAllocation, DriftFilterOfferSteadyStateIsAllocationFree) {
+  protocol::DriftFilter filter({.bootstrap_samples = 10,
+                                .max_samples = 64,
+                                .stats_window = 32});
+  core::Rng rng(41);
+  std::int64_t t = 0;
+  const double slope = 40e-6;  // 40 ppm trend
+
+  // Warmup: bootstrap, then fill past max_samples so the window-eviction
+  // rebuild path is what every subsequent acceptance takes; scratch_sq_
+  // and the sample vector reach their steady-state capacity here.
+  for (int i = 0; i < 200; ++i) {
+    t += 5'000'000'000;
+    const auto now = core::TimePoint::from_ns(t);
+    (void)filter.offer(now, slope * now.to_seconds() + rng.normal(0, 0.002));
+  }
+  ASSERT_EQ(filter.accepted_count(), 64u);
+
+  const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    t += 5'000'000'000;
+    const auto now = core::TimePoint::from_ns(t);
+    // Every 10th sample is a gross outlier: the rejection branch must be
+    // just as allocation-free as the acceptance branch.
+    const double noise = i % 10 == 9 ? 1.0 : rng.normal(0, 0.002);
+    const auto d = filter.offer(now, slope * now.to_seconds() + noise);
+    ++(d.accepted ? accepted : rejected);
+  }
+  const std::uint64_t news_after = g_news.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(news_after - news_before, 0u) << "DriftFilter::offer allocated";
+  EXPECT_EQ(accepted, 900u);
+  EXPECT_EQ(rejected, 100u);
+}
+
+TEST(FilterAllocation, ClockFilterUpdateSteadyStateIsAllocationFree) {
+  ntp::ClockFilter filter({.stages = 8, .popcorn_gate = 3.0});
+  core::Rng rng(42);
+  std::int64_t t = 0;
+
+  for (int i = 0; i < 64; ++i) {
+    t += 1'000'000'000;
+    (void)filter.update(core::Duration::from_seconds(rng.normal(0, 0.002)),
+                        core::Duration::from_seconds(rng.uniform(0.01, 0.05)),
+                        core::TimePoint::from_ns(t));
+  }
+
+  const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+  std::size_t suppressed = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    t += 1'000'000'000;
+    // Every 16th sample is a popcorn spike: both the suppression branch
+    // and the ring-buffer insert path must stay allocation-free.
+    const double offset_s = i % 16 == 15 ? 0.5 : rng.normal(0, 0.002);
+    const auto est =
+        filter.update(core::Duration::from_seconds(offset_s),
+                      core::Duration::from_seconds(rng.uniform(0.01, 0.05)),
+                      core::TimePoint::from_ns(t));
+    suppressed += est.has_value() ? 0 : 1;
+  }
+  const std::uint64_t news_after = g_news.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(news_after - news_before, 0u) << "ClockFilter::update allocated";
+  EXPECT_GT(suppressed, 0u);
+}
+
+}  // namespace
+}  // namespace mntp
