@@ -38,7 +38,7 @@ std::optional<PeerEstimate> ClockFilter::update(core::Duration offset,
   // genuine level shift would otherwise be suppressed forever — the
   // escape hatch admits the second consecutive out-of-gate sample (two
   // in a row is a level shift, not a popcorn spike; same policy as
-  // ntpd's suppressor, see DESIGN.md §5).
+  // ntpd's suppressor, see DESIGN.md §9).
   if (current_ && params_.popcorn_gate > 0.0) {
     const double jitter =
         std::max(current_->jitter_s, params_.popcorn_jitter_floor_s);
