@@ -1,14 +1,18 @@
 #include "common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "core/format.h"
 #include "core/thread_pool.h"
+#include "obs/metric_names.h"
 
 namespace mntp::bench {
 
@@ -176,6 +180,18 @@ std::size_t parse_size_flag(int argc, char** argv, const char* flag,
   return static_cast<std::size_t>(n);
 }
 
+bool parse_bool_flag(int argc, char** argv, const char* flag) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, flag) == 0) return true;
+    if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+      return true;
+    }
+  }
+  return false;
+}
+
 ReplicateCli parse_replicate_cli(int argc, char** argv) {
   ReplicateCli cli;
   cli.replicates =
@@ -246,10 +262,44 @@ BenchTelemetry::BenchTelemetry(std::string run_name, int argc, char** argv)
       profile_path_(parse_flag(argc, argv, "--profile-out")),
       query_trace_path_(parse_flag(argc, argv, "--query-trace-out")),
       timeline_path_(parse_flag(argc, argv, "--timeline-out")),
+      obs_self_(parse_bool_flag(argc, argv, "--obs-self")),
       scope_(telemetry_) {
   if (enabled()) telemetry_.add_sink(&trace_);
   if (profiling()) telemetry_.profiler().set_enabled(true);
-  if (query_tracing()) telemetry_.query_tracer().set_enabled(true);
+  if (query_tracing()) {
+    obs::QueryTracer& qt = telemetry_.query_tracer();
+    qt.set_enabled(true);
+    obs::QueryTracer::Sampling sampling;
+    sampling.sample_one_in_n = std::max<std::size_t>(
+        1, parse_size_flag(argc, argv, "--query-trace-sample", 1));
+    sampling.seed = parse_size_flag(argc, argv, "--query-trace-seed", 0);
+    sampling.reservoir =
+        parse_size_flag(argc, argv, "--query-trace-reservoir", 0);
+    if (sampling.sample_one_in_n > 1 || sampling.reservoir > 0) {
+      qt.set_sampling(sampling);
+    }
+    if (parse_bool_flag(argc, argv, "--query-trace-stream")) {
+      if (query_stream_.open(query_trace_path_)) {
+        qt.set_stream(&query_stream_);
+        query_streaming_ = true;
+      } else {
+        std::fprintf(stderr,
+                     "query trace stream failed to open %s; "
+                     "falling back to batch export\n",
+                     query_trace_path_.c_str());
+      }
+    }
+  }
+  const std::string trace_stream_path =
+      parse_flag(argc, argv, "--trace-stream-out");
+  if (!trace_stream_path.empty()) {
+    if (event_stream_.open(trace_stream_path)) {
+      telemetry_.add_sink(&event_stream_);
+    } else {
+      std::fprintf(stderr, "trace stream failed to open %s\n",
+                   trace_stream_path.c_str());
+    }
+  }
   if (timeline_enabled()) {
     const std::size_t cadence_ms =
         parse_size_flag(argc, argv, "--timeline-cadence-ms", 1000);
@@ -259,6 +309,106 @@ BenchTelemetry::BenchTelemetry(std::string run_name, int argc, char** argv)
   }
 }
 
+void BenchTelemetry::account_artifact(const std::string& path) {
+  if (!obs_self_) return;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec) artifact_bytes_ += size;
+}
+
+bool BenchTelemetry::write_report(core::TimePoint sim_end) {
+  if (!enabled()) return true;
+  const core::Status status = obs::write_run_report_file(
+      out_path_, telemetry_, &trace_,
+      obs::ReportOptions{.run_name = run_name_, .sim_end = sim_end});
+  if (!status.ok()) {
+    std::fprintf(stderr, "telemetry report failed: %s\n",
+                 status.error().message.c_str());
+    return false;
+  }
+  std::printf("\ntelemetry report: %s (%zu metrics, %zu events)\n",
+              out_path_.c_str(), telemetry_.metrics().snapshot().size(),
+              trace_.events().size());
+  return true;
+}
+
+bool BenchTelemetry::write_profile() {
+  if (!profiling()) return true;
+  const core::Status status = obs::write_chrome_trace_file(
+      profile_path_, telemetry_.profiler(), run_name_);
+  if (!status.ok()) {
+    std::fprintf(stderr, "profile trace failed: %s\n",
+                 status.error().message.c_str());
+    return false;
+  }
+  std::printf("profile trace: %s (%llu spans, %llu dropped)\n",
+              profile_path_.c_str(),
+              static_cast<unsigned long long>(
+                  telemetry_.profiler().total_spans()),
+              static_cast<unsigned long long>(
+                  telemetry_.profiler().dropped()));
+  account_artifact(profile_path_);
+  return true;
+}
+
+bool BenchTelemetry::write_query_trace(core::TimePoint sim_end) {
+  if (!query_tracing()) return true;
+  obs::QueryTracer& qt = telemetry_.query_tracer();
+  if (query_streaming_) {
+    if (!qt.finish_stream(run_name_, sim_end)) {
+      std::fprintf(stderr, "query trace stream failed: %s\n",
+                   query_trace_path_.c_str());
+      return false;
+    }
+  } else if (!qt.write_jsonl_file(query_trace_path_, run_name_, sim_end)) {
+    std::fprintf(stderr, "query trace failed: %s\n",
+                 query_trace_path_.c_str());
+    return false;
+  }
+  std::printf("query trace: %s (%llu queries, %llu dropped)\n",
+              query_trace_path_.c_str(),
+              static_cast<unsigned long long>(qt.minted()),
+              static_cast<unsigned long long>(qt.dropped()));
+  account_artifact(query_trace_path_);
+  return true;
+}
+
+bool BenchTelemetry::write_timeline(core::TimePoint sim_end) {
+  if (!timeline_enabled()) return true;
+  const obs::TimeSeriesRecorder& ts = telemetry_.timeseries();
+  // The chunked writer produces byte-identical output to
+  // write_timeline_file (shared line serializers) while flushing in
+  // bounded chunks and metering bytes/flushes for obs.self.*.
+  std::uint64_t bytes = 0;
+  const core::Status status = obs::write_timeline_chunked(
+      timeline_path_, ts, run_name_, sim_end, &bytes, &timeline_flushes_);
+  if (!status.ok()) {
+    std::fprintf(stderr, "timeline failed: %s\n",
+                 status.error().message.c_str());
+    return false;
+  }
+  std::printf("timeline: %s (%zu series, %llu samples)\n",
+              timeline_path_.c_str(), ts.series_count(),
+              static_cast<unsigned long long>(ts.samples_taken()));
+  if (obs_self_) artifact_bytes_ += bytes;
+  return true;
+}
+
+bool BenchTelemetry::close_event_stream(core::TimePoint sim_end) {
+  if (!event_streaming()) return true;
+  if (!event_stream_.close(run_name_, sim_end)) {
+    std::fprintf(stderr, "trace stream close failed\n");
+    return false;
+  }
+  // Counters survive close(); read them after so the final flush counts.
+  const std::uint64_t bytes = event_stream_.bytes_written();
+  std::printf("trace stream: %llu events (%llu bytes)\n",
+              static_cast<unsigned long long>(event_stream_.events()),
+              static_cast<unsigned long long>(bytes));
+  if (obs_self_) artifact_bytes_ += bytes;
+  return true;
+}
+
 bool BenchTelemetry::finalize(core::TimePoint sim_end) {
   bool ok = true;
   // Export span aggregates BEFORE the run report so profile.span.*
@@ -266,63 +416,61 @@ bool BenchTelemetry::finalize(core::TimePoint sim_end) {
   if (profiling()) {
     telemetry_.profiler().export_to_metrics(telemetry_.metrics());
   }
-  if (enabled()) {
-    const core::Status status = obs::write_run_report_file(
-        out_path_, telemetry_, &trace_,
-        obs::ReportOptions{.run_name = run_name_, .sim_end = sim_end});
-    if (!status.ok()) {
-      std::fprintf(stderr, "telemetry report failed: %s\n",
-                   status.error().message.c_str());
-      ok = false;
-    } else {
-      std::printf("\ntelemetry report: %s (%zu metrics, %zu events)\n",
-                  out_path_.c_str(), telemetry_.metrics().snapshot().size(),
-                  trace_.events().size());
-    }
+  // Export trace-sampling reconciliation counters whenever traces can
+  // have been sampled away — mntp-inspect needs them to tell "sampled
+  // out on purpose" from "lost". Off the sampling path the metric set
+  // (and so the report artifact) stays byte-identical to earlier
+  // releases.
+  const obs::QueryTracer::Sampling sampling =
+      telemetry_.query_tracer().sampling();
+  const bool sampling_on =
+      sampling.sample_one_in_n > 1 || sampling.reservoir > 0;
+  if (!obs_self_ && query_tracing() && (sampling_on || query_streaming_)) {
+    telemetry_.query_tracer().export_counters(telemetry_.metrics());
   }
-  if (profiling()) {
-    const core::Status status = obs::write_chrome_trace_file(
-        profile_path_, telemetry_.profiler(), run_name_);
-    if (!status.ok()) {
-      std::fprintf(stderr, "profile trace failed: %s\n",
-                   status.error().message.c_str());
-      ok = false;
-    } else {
-      std::printf("profile trace: %s (%llu spans, %llu dropped)\n",
-                  profile_path_.c_str(),
-                  static_cast<unsigned long long>(
-                      telemetry_.profiler().total_spans()),
-                  static_cast<unsigned long long>(
-                      telemetry_.profiler().dropped()));
-    }
+  if (!obs_self_) {
+    // Historical order, byte-identical stdout.
+    ok = write_report(sim_end) && ok;
+    ok = write_profile() && ok;
+    ok = write_query_trace(sim_end) && ok;
+    ok = write_timeline(sim_end) && ok;
+    ok = close_event_stream(sim_end) && ok;
+    return ok;
   }
+  // Self-metering: write every other artifact first so its cost is
+  // known, fold the obs.self.* family into the registry, and write the
+  // report LAST so it carries the measurements. (The report cannot
+  // account its own bytes; obs.self.bytes_written covers the profile,
+  // query-trace, timeline and stream artifacts.)
+  ok = write_profile() && ok;
+  ok = write_query_trace(sim_end) && ok;
+  ok = write_timeline(sim_end) && ok;
+  ok = close_event_stream(sim_end) && ok;
+  obs::MetricsRegistry& metrics = telemetry_.metrics();
+  const auto merge_start = std::chrono::steady_clock::now();
+  const std::size_t merged_series = metrics.snapshot().size();
+  const double merge_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - merge_start)
+          .count();
   if (query_tracing()) {
-    const obs::QueryTracer& qt = telemetry_.query_tracer();
-    if (!qt.write_jsonl_file(query_trace_path_, run_name_, sim_end)) {
-      std::fprintf(stderr, "query trace failed: %s\n",
-                   query_trace_path_.c_str());
-      ok = false;
-    } else {
-      std::printf("query trace: %s (%llu queries, %llu dropped)\n",
-                  query_trace_path_.c_str(),
-                  static_cast<unsigned long long>(qt.minted()),
-                  static_cast<unsigned long long>(qt.dropped()));
-    }
+    telemetry_.query_tracer().export_counters(metrics);
   }
-  if (timeline_enabled()) {
-    const obs::TimeSeriesRecorder& ts = telemetry_.timeseries();
-    const core::Status status =
-        obs::write_timeline_file(timeline_path_, ts, run_name_, sim_end);
-    if (!status.ok()) {
-      std::fprintf(stderr, "timeline failed: %s\n",
-                   status.error().message.c_str());
-      ok = false;
-    } else {
-      std::printf("timeline: %s (%zu series, %llu samples)\n",
-                  timeline_path_.c_str(), ts.series_count(),
-                  static_cast<unsigned long long>(ts.samples_taken()));
-    }
-  }
+  metrics.counter(obs::metric_names::kObsSelfBytesWritten)
+      ->inc(artifact_bytes_);
+  metrics.counter(obs::metric_names::kObsSelfStreamFlushes)
+      ->inc(query_stream_.flushes() + event_stream_.flushes() +
+            timeline_flushes_);
+  metrics.gauge(obs::metric_names::kObsSelfMergeWallUs)->set(merge_us);
+  std::printf(
+      "telemetry self: %llu artifact bytes, %llu stream flushes, "
+      "merge %zu series in %.1f us\n",
+      static_cast<unsigned long long>(artifact_bytes_),
+      static_cast<unsigned long long>(query_stream_.flushes() +
+                                      event_stream_.flushes() +
+                                      timeline_flushes_),
+      merged_series, merge_us);
+  ok = write_report(sim_end) && ok;
   return ok;
 }
 

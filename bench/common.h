@@ -9,6 +9,7 @@
 // the spikes are.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "ntp/sntp_client.h"
 #include "ntp/testbed.h"
 #include "obs/report.h"
+#include "obs/streaming.h"
 #include "obs/telemetry.h"
 #include "obs/trace_event.h"
 #include "sim/replicate.h"
@@ -140,6 +142,10 @@ std::string parse_flag(int argc, char** argv, const char* flag);
 std::size_t parse_size_flag(int argc, char** argv, const char* flag,
                             std::size_t def);
 
+/// True when the bare flag is present (`--flag`; `--flag=anything` also
+/// counts). For switches that carry no value.
+bool parse_bool_flag(int argc, char** argv, const char* flag);
+
 /// Per-run telemetry harness for bench binaries.
 ///
 /// Construct FIRST in main() — before any Testbed or client — so every
@@ -161,6 +167,25 @@ std::size_t parse_size_flag(int argc, char** argv, const char* flag,
 /// the timeline JSONL there (schema in src/obs/timeseries.h; inspect
 /// with `mntp-inspect timeline`). Without any flag the run pays only
 /// counter increments and finalize() is a no-op.
+///
+/// Fleet-scale knobs (all opt-in; without them every artifact and stdout
+/// line is byte-identical to the plain flags above):
+///
+///   * `--query-trace-sample N` — deterministic 1-in-N trace sampling
+///     (hash-of-id gate; see QueryTracer::Sampling), with
+///     `--query-trace-seed S` (default 0) selecting the kept set and
+///     `--query-trace-reservoir M` capping it at M traces.
+///   * `--query-trace-stream` — stream finished traces straight to
+///     --query-trace-out through a bounded reorder buffer instead of
+///     retaining them (obs/streaming.h); memory stays O(open queries).
+///   * `--trace-stream-out <path>` — stream trace events to a JSONL
+///     file (kind "mntp_trace_events") as they are emitted, unbounded by
+///     the ring buffer's capacity.
+///   * `--obs-self` — meter the telemetry itself: finalize() writes the
+///     run report LAST and folds an obs.self.* metric family (artifact
+///     bytes, stream flushes, registry merge wall time) plus the
+///     obs.query_trace.{kept,sampled_out,dropped} reconciliation
+///     counters into it.
 class BenchTelemetry {
  public:
   BenchTelemetry(std::string run_name, int argc, char** argv);
@@ -192,18 +217,41 @@ class BenchTelemetry {
     return telemetry_.timeseries();
   }
 
+  /// True when --query-trace-stream was passed (and the sink opened).
+  [[nodiscard]] bool query_trace_streaming() const { return query_streaming_; }
+  /// True when --trace-stream-out was passed (and the sink opened).
+  [[nodiscard]] bool event_streaming() const {
+    return event_stream_.is_open();
+  }
+  /// True when --obs-self was passed (self-overhead metering).
+  [[nodiscard]] bool self_metering() const { return obs_self_; }
+
   /// Write the report / Chrome trace / query trace (no-op without the
   /// flags). Returns false and prints to stderr on I/O failure.
   bool finalize(core::TimePoint sim_end);
 
  private:
+  bool write_report(core::TimePoint sim_end);
+  bool write_profile();
+  bool write_query_trace(core::TimePoint sim_end);
+  bool write_timeline(core::TimePoint sim_end);
+  bool close_event_stream(core::TimePoint sim_end);
+  /// Adds the on-disk size of `path` to artifact_bytes_ (self-metering).
+  void account_artifact(const std::string& path);
+
   std::string run_name_;
   std::string out_path_;
   std::string profile_path_;
   std::string query_trace_path_;
   std::string timeline_path_;
+  bool query_streaming_ = false;
+  bool obs_self_ = false;
+  std::uint64_t artifact_bytes_ = 0;
+  std::uint64_t timeline_flushes_ = 0;
   obs::Telemetry telemetry_;
   obs::RingBufferSink trace_;
+  obs::StreamingQueryTraceSink query_stream_;
+  obs::StreamingTraceEventSink event_stream_;
   obs::ScopedTelemetry scope_;
 };
 

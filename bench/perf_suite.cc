@@ -38,6 +38,7 @@
 #include "mntp/trace.h"
 #include "mntp/tuner.h"
 #include "net/wireless_channel.h"
+#include "obs/telemetry.h"
 #include "obs/trace_event.h"
 #include "sim/simulation.h"
 
@@ -143,6 +144,57 @@ std::vector<Workload> build_workloads() {
       engine.on_round(core::TimePoint::from_ns(t), offsets);
     }
   }});
+
+  // Telemetry self-overhead: the engine_round body under three
+  // instrumentation levels. `off` pins the disabled-telemetry budget
+  // (≤1% over engine_round — every metric record degrades to one
+  // branch); `metrics` prices the sharded-counter hot path; `trace`
+  // additionally mints one sampled query per round (1-in-16 hash gate)
+  // with the ambient scope installed, so filter decision points pay
+  // their tracer lookups.
+  {
+    auto telemetry_round = [](obs::Telemetry& tel, bool trace_rounds) {
+      obs::ScopedTelemetry scope(tel);
+      protocol::MntpEngine engine(protocol::head_to_head_params(),
+                                  core::TimePoint::epoch());
+      core::Rng rng(6);
+      obs::QueryTracer& tracer = tel.query_tracer();
+      std::int64_t t = 0;
+      std::vector<double> offsets(1);
+      for (int i = 0; i < 20'000; ++i) {
+        t += 5'000'000'000;
+        const auto now = core::TimePoint::from_ns(t);
+        offsets[0] = rng.normal(0, 0.003);
+        if (trace_rounds) {
+          const obs::QueryId id = tracer.begin(now, "round");
+          obs::ActiveQueryScope q(tracer, id);
+          engine.on_round(now, offsets);
+          tracer.finish(id, now, obs::Reason::kNone);
+        } else {
+          engine.on_round(now, offsets);
+        }
+      }
+    };
+    workloads.push_back({"telemetry_overhead_off", [telemetry_round] {
+      obs::Telemetry tel;
+      tel.set_enabled(false);
+      telemetry_round(tel, false);
+    }});
+    workloads.push_back({"telemetry_overhead_metrics", [telemetry_round] {
+      obs::Telemetry tel;  // enabled; counters record, no sinks/tracer
+      telemetry_round(tel, false);
+    }});
+    workloads.push_back({"telemetry_overhead_trace", [telemetry_round] {
+      obs::Telemetry tel;
+      obs::QueryTracer& tracer = tel.query_tracer();
+      tracer.set_enabled(true);
+      obs::QueryTracer::Sampling sampling;
+      sampling.sample_one_in_n = 16;
+      sampling.seed = 7;
+      tracer.set_sampling(sampling);
+      telemetry_round(tel, true);
+    }});
+  }
 
   // Tuner: a 12-config slice of the Table 2 grid over a 2-hour trace,
   // serial — thread-pool scheduling jitter belongs to the micro

@@ -65,10 +65,10 @@ class QueryEngine {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t timeouts_ = 0;
-  obs::Counter* sent_counter_ = nullptr;
-  obs::Counter* ok_counter_ = nullptr;
-  obs::Counter* timeout_counter_ = nullptr;
-  obs::Counter* error_counter_ = nullptr;
+  obs::ShardedCounter* sent_counter_ = nullptr;
+  obs::ShardedCounter* ok_counter_ = nullptr;
+  obs::ShardedCounter* timeout_counter_ = nullptr;
+  obs::ShardedCounter* error_counter_ = nullptr;
   obs::Histogram* rtt_ms_ = nullptr;
   /// Per-direction one-way delays on the TRUE timeline (the simulator
   /// can observe what a real client cannot). Mergeable HDR histograms —

@@ -70,6 +70,23 @@ inline constexpr const char kMntpClientClockSteps[] =
 // tuner
 inline constexpr const char kTunerConfigsScored[] = "tuner.configs_scored";
 
+// obs: the observability layer metering itself. The query-trace family
+// reconciles the exported trace artifact against what was minted
+// (kept + sampled_out + dropped == minted); the self family answers
+// "what does telemetry cost" — artifact bytes on disk, streaming-sink
+// flush count, and the wall time of the registry merge at snapshot.
+// Exported by BenchTelemetry::finalize under --obs-self (opt-in so
+// default artifacts stay byte-stable across releases).
+inline constexpr const char kObsQueryTraceKept[] = "obs.query_trace.kept";
+inline constexpr const char kObsQueryTraceSampledOut[] =
+    "obs.query_trace.sampled_out";
+inline constexpr const char kObsQueryTraceDropped[] =
+    "obs.query_trace.dropped";
+inline constexpr const char kObsSelfBytesWritten[] = "obs.self.bytes_written";
+inline constexpr const char kObsSelfStreamFlushes[] =
+    "obs.self.stream_flushes";
+inline constexpr const char kObsSelfMergeWallUs[] = "obs.self.merge_wall_us";
+
 // timeline-only series (obs/timeseries.h probes; these appear in the
 // --timeline-out artifact, not the run report)
 inline constexpr const char kTsMntpOffsetMs[] = "mntp.offset_ms";

@@ -194,6 +194,81 @@ double Histogram::bucket_bound(std::size_t i) const {
   throw std::out_of_range("Histogram::bucket_bound");
 }
 
+// --- MetricShardSlabs -----------------------------------------------------
+
+MetricShardSlabs::MetricShardSlabs() {
+  static std::atomic<std::uint64_t> next_id{1};
+  instance_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricShardSlabs::Slab& MetricShardSlabs::slab_for_this_thread() {
+  struct CacheEntry {
+    const MetricShardSlabs* owner;
+    std::uint64_t instance_id;
+    Slab* slab;
+  };
+  // Per-thread map from slab set to this thread's slab. A linear scan:
+  // one registry (one Telemetry) is live per run, so the common case is
+  // a single entry hit on the first compare.
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.owner == this && e.instance_id == instance_id_) return *e.slab;
+  }
+  // Miss — drop any entry for a destroyed instance that shared this
+  // address, then create this thread's slab under the lock.
+  std::erase_if(cache, [this](const CacheEntry& e) { return e.owner == this; });
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto slab = std::make_unique<Slab>();
+  slab->counters.assign(counter_count_, 0);
+  slab->gauges.assign(gauge_count_, 0.0);
+  slabs_.push_back(std::move(slab));
+  Slab* raw = slabs_.back().get();
+  cache.push_back({this, instance_id_, raw});
+  return *raw;
+}
+
+void MetricShardSlabs::grow(Slab& slab) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slab.counters.resize(counter_count_, 0);
+  slab.gauges.resize(gauge_count_, 0.0);
+}
+
+std::uint64_t MetricShardSlabs::merged_counter(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& slab : slabs_) {
+    if (index < slab->counters.size()) total += slab->counters[index];
+  }
+  return total;
+}
+
+double MetricShardSlabs::merged_gauge(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Sum in ascending value order: for a fixed multiset of per-thread
+  // partials the result does not depend on which thread recorded first.
+  std::vector<double> partials;
+  partials.reserve(slabs_.size());
+  for (const auto& slab : slabs_) {
+    if (index < slab->gauges.size() && slab->gauges[index] != 0.0) {
+      partials.push_back(slab->gauges[index]);
+    }
+  }
+  std::sort(partials.begin(), partials.end());
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return total;
+}
+
+std::size_t MetricShardSlabs::allocate_counter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counter_count_++;
+}
+
+std::size_t MetricShardSlabs::allocate_gauge() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauge_count_++;
+}
+
 // --- MetricsRegistry ------------------------------------------------------
 
 Labels MetricsRegistry::normalize(Labels labels) {
@@ -256,10 +331,41 @@ ShardedHdrHistogram* MetricsRegistry::hdr_histogram(std::string_view name,
   return it->second.get();
 }
 
+ShardedCounter* MetricsRegistry::sharded_counter(std::string_view name,
+                                                 Labels labels) {
+  Key key{std::string(name), normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sharded_counters_.find(key);
+  if (it == sharded_counters_.end()) {
+    it = sharded_counters_
+             .emplace(std::move(key),
+                      std::unique_ptr<ShardedCounter>(new ShardedCounter(
+                          &enabled_, &slabs_, slabs_.allocate_counter())))
+             .first;
+  }
+  return it->second.get();
+}
+
+ShardedGauge* MetricsRegistry::sharded_gauge(std::string_view name,
+                                             Labels labels) {
+  Key key{std::string(name), normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sharded_gauges_.find(key);
+  if (it == sharded_gauges_.end()) {
+    it = sharded_gauges_
+             .emplace(std::move(key),
+                      std::unique_ptr<ShardedGauge>(new ShardedGauge(
+                          &enabled_, &slabs_, slabs_.allocate_gauge())))
+             .first;
+  }
+  return it->second.get();
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size() +
-         hdr_histograms_.size();
+         hdr_histograms_.size() + sharded_counters_.size() +
+         sharded_gauges_.size();
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
@@ -275,6 +381,25 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
     out.push_back(std::move(s));
   }
   for (const auto& [key, g] : gauges_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  // Sharded series merge here, at snapshot time (the same rule as the
+  // hdr histograms below), and export as plain counter/gauge snapshots:
+  // the report shape carries no trace of the sharding.
+  for (const auto& [key, c] : sharded_counters_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, g] : sharded_gauges_) {
     MetricSnapshot s;
     s.kind = MetricSnapshot::Kind::kGauge;
     s.name = key.name;

@@ -27,6 +27,9 @@
 //
 //   * Counter / Gauge — lock-free atomics (relaxed ordering; totals are
 //     exact, cross-metric ordering is unspecified);
+//   * ShardedCounter / ShardedGauge — per-thread slab cells (plain
+//     stores, no atomics at all) merged at read; exact totals once the
+//     writers have joined, following the ShardedHdrHistogram rule;
 //   * Histogram — a per-histogram mutex around record() and the
 //     accessors (the P² marker update is a read-modify-write over five
 //     correlated arrays and cannot be usefully sharded);
@@ -102,6 +105,135 @@ class Gauge {
   const std::atomic<bool>* enabled_;
   std::atomic<double> value_{0.0};
 };
+
+class MetricShardSlabs;
+
+/// Sharded monotonic counter: the fleet-scale complement to Counter.
+/// Counter's single atomic is exact but CONTENDED — at 10⁵+ clients
+/// spread over a thread pool every inc() bounces one cache line between
+/// cores. ShardedCounter instead writes a per-thread slab cell (see
+/// MetricShardSlabs): a plain uncontended store, no RMW, no sharing.
+/// value() sums the cells; integer addition is commutative and
+/// associative, so the merged total is bit-identical for any thread
+/// count and any scheduling — the same merge rule ShardedHdrHistogram
+/// relies on. Reads are only exact after parallel sections have joined
+/// (cell writes are not synchronized with the merge, the rule
+/// obs/hdr_histogram.h documents for merged()).
+class ShardedCounter {
+ public:
+  void inc(std::uint64_t n = 1);
+  /// Sum over every thread's cell. Exact once writers have joined.
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  friend class MetricsRegistry;
+  ShardedCounter(const std::atomic<bool>* enabled, MetricShardSlabs* slabs,
+                 std::size_t index)
+      : enabled_(enabled), slabs_(slabs), index_(index) {}
+  const std::atomic<bool>* enabled_;
+  MetricShardSlabs* slabs_;
+  std::size_t index_;
+};
+
+/// Sharded additive gauge: per-thread double cells summed at read. Unlike
+/// Gauge there is no set() — last-writer-wins has no meaning when every
+/// thread owns a private cell — so this is an accumulator exported with
+/// gauge semantics (the registry snapshots it as Kind::kGauge). The
+/// merge sums the per-thread partials in ascending value order, which
+/// makes the result independent of thread arrival order for a given
+/// partition; it is bit-identical across thread COUNTS when the deltas
+/// are integral (or any sum where IEEE addition is exact), the same
+/// restriction that led obs/hdr_histogram.h to ban FP accumulators.
+class ShardedGauge {
+ public:
+  void add(double d);
+  /// Sum of every thread's partial, ascending-value order.
+  [[nodiscard]] double value() const;
+
+ private:
+  friend class MetricsRegistry;
+  ShardedGauge(const std::atomic<bool>* enabled, MetricShardSlabs* slabs,
+               std::size_t index)
+      : enabled_(enabled), slabs_(slabs), index_(index) {}
+  const std::atomic<bool>* enabled_;
+  MetricShardSlabs* slabs_;
+  std::size_t index_;
+};
+
+/// The per-thread slab backing every ShardedCounter/ShardedGauge of one
+/// registry. Each thread that records gets ONE slab (two dense arrays,
+/// uint64 counter cells and double gauge cells) shared by all that
+/// registry's sharded metrics; a handle is just {slab set, cell index}.
+/// The hot path resolves this thread's slab through a thread-local
+/// cache (one owner/instance compare — the ShardedHdrHistogram idiom,
+/// amortized O(1)), bounds-checks the cell and does a plain `+=`:
+/// no atomics, no locks, no false sharing between threads. Slab
+/// creation and growth (a handle registered after this thread's slab
+/// was built) take the mutex; merged reads take it too and sum cells.
+class MetricShardSlabs {
+ public:
+  MetricShardSlabs();
+  MetricShardSlabs(const MetricShardSlabs&) = delete;
+  MetricShardSlabs& operator=(const MetricShardSlabs&) = delete;
+
+  void counter_add(std::size_t index, std::uint64_t n) {
+    Slab& s = slab_for_this_thread();
+    if (index >= s.counters.size()) grow(s);
+    s.counters[index] += n;
+  }
+  void gauge_add(std::size_t index, double d) {
+    Slab& s = slab_for_this_thread();
+    if (index >= s.gauges.size()) grow(s);
+    s.gauges[index] += d;
+  }
+
+  [[nodiscard]] std::uint64_t merged_counter(std::size_t index) const;
+  [[nodiscard]] double merged_gauge(std::size_t index) const;
+
+  /// Reserve the next cell index (registration path, rare).
+  [[nodiscard]] std::size_t allocate_counter();
+  [[nodiscard]] std::size_t allocate_gauge();
+
+ private:
+  struct Slab {
+    std::vector<std::uint64_t> counters;
+    std::vector<double> gauges;
+  };
+
+  Slab& slab_for_this_thread();
+  /// Resize the calling thread's slab to the registered cell counts.
+  /// Only the owning thread touches its cells, so the realloc cannot
+  /// race the hot path; merged reads serialize on mutex_.
+  void grow(Slab& slab);
+
+  /// Distinguishes this instance from a destroyed one reusing the same
+  /// address, so stale thread-local cache entries never resolve.
+  std::uint64_t instance_id_;
+  mutable std::mutex mutex_;
+  std::size_t counter_count_ = 0;  // guarded by mutex_
+  std::size_t gauge_count_ = 0;    // guarded by mutex_
+  std::vector<std::unique_ptr<Slab>> slabs_;
+};
+
+inline void ShardedCounter::inc(std::uint64_t n) {
+  if (enabled_->load(std::memory_order_relaxed)) {
+    slabs_->counter_add(index_, n);
+  }
+}
+
+inline std::uint64_t ShardedCounter::value() const {
+  return slabs_->merged_counter(index_);
+}
+
+inline void ShardedGauge::add(double d) {
+  if (enabled_->load(std::memory_order_relaxed)) {
+    slabs_->gauge_add(index_, d);
+  }
+}
+
+inline double ShardedGauge::value() const {
+  return slabs_->merged_gauge(index_);
+}
 
 /// P-squared (P²) streaming quantile estimator (Jain & Chlamtac, 1985):
 /// tracks one quantile of a stream in O(1) memory and O(1) per sample by
@@ -220,6 +352,14 @@ class MetricsRegistry {
   ShardedHdrHistogram* hdr_histogram(std::string_view name,
                                      HdrHistogramOptions options = {},
                                      Labels labels = {});
+  /// Sharded alternatives to counter()/gauge() for series that hot loops
+  /// increment from many threads: per-thread slab cells, merged at
+  /// snapshot() (exported as plain counter/gauge snapshots, so the
+  /// report schema does not change). Do NOT register the same
+  /// name+labels through both counter() and sharded_counter() — they
+  /// are distinct stores and would export duplicate series.
+  ShardedCounter* sharded_counter(std::string_view name, Labels labels = {});
+  ShardedGauge* sharded_gauge(std::string_view name, Labels labels = {});
 
   /// Disable/enable all recording (handles stay valid; records become a
   /// single branch). Used to measure instrumentation overhead.
@@ -249,10 +389,13 @@ class MetricsRegistry {
 
   std::atomic<bool> enabled_{true};
   mutable std::mutex mutex_;  // guards the maps, not the metric values
+  MetricShardSlabs slabs_;    // cells behind every sharded counter/gauge
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
   std::map<Key, std::unique_ptr<ShardedHdrHistogram>> hdr_histograms_;
+  std::map<Key, std::unique_ptr<ShardedCounter>> sharded_counters_;
+  std::map<Key, std::unique_ptr<ShardedGauge>> sharded_gauges_;
 };
 
 }  // namespace mntp::obs

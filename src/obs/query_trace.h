@@ -42,10 +42,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/time.h"
@@ -53,6 +56,8 @@
 #include "obs/trace_event.h"
 
 namespace mntp::obs {
+
+class MetricsRegistry;
 
 /// Monotonic per-tracer query identifier; 0 is "no query" (disabled).
 using QueryId = std::uint64_t;
@@ -80,11 +85,45 @@ struct QueryTrace {
   }
 };
 
+class StreamingQueryTraceSink;
+
+/// Append one {"type":"query",...} JSONL line body (no trailing newline)
+/// for `trace` — the per-trace serialization shared by the batch
+/// exporter (to_jsonl) and the streaming sink (obs/streaming.h).
+void append_query_trace_json(std::string& out, const QueryTrace& trace);
+
 class QueryTracer {
  public:
   struct Limits {
     std::size_t max_queries = 1 << 16;
     std::size_t max_stages_per_query = 128;
+  };
+
+  /// Deterministic trace sampling. First-N-wins (the pre-sampling
+  /// behaviour, and still the backstop via Limits) keeps whatever
+  /// happened to be minted early — at fleet scale that is the warm-up
+  /// transient, not a representative sample. The gate instead hashes the
+  /// query id: a trace is a KEEP candidate iff
+  ///
+  ///   splitmix64(gate_seed + id) % sample_one_in_n == 0,
+  ///
+  /// with gate_seed = core::derive_stream_seed(seed, 0). The kept id set
+  /// is a pure function of (seed, n, ids minted) — bit-identical across
+  /// thread counts, schedulings and re-runs, which is what the
+  /// determinism tests pin. `reservoir` additionally caps the kept set
+  /// at a fixed size using a bottom-k rank sketch: every candidate gets
+  /// rank (splitmix64(rank_seed + id), id) and the reservoir keeps the k
+  /// smallest ranks — also order-independent, unlike classic Algorithm R
+  /// whose result depends on arrival order. Evicted candidates count as
+  /// sampled_out, so kept + sampled_out + dropped == minted always.
+  struct Sampling {
+    /// Keep one in n by id hash; 1 keeps everything (the default —
+    /// artifacts are byte-identical to a tracer without sampling).
+    std::uint64_t sample_one_in_n = 1;
+    /// Base seed for the gate/rank streams (core::derive_stream_seed).
+    std::uint64_t seed = 0;
+    /// Fixed-size bottom-k reservoir over gate survivors; 0 = off.
+    std::size_t reservoir = 0;
   };
 
   QueryTracer() = default;
@@ -118,14 +157,43 @@ class QueryTracer {
   void finish(QueryId id, core::TimePoint t, Reason reason,
               std::vector<Field> fields = {});
 
+  /// Configure sampling. Call before the run fans out (the same
+  /// configure-then-record rule Telemetry documents for sinks); changing
+  /// the gate mid-run would split the kept set across two rules.
+  void set_sampling(const Sampling& sampling);
+  [[nodiscard]] Sampling sampling() const;
+
+  /// Attach a streaming sink: finished traces are serialized and handed
+  /// to `sink` immediately (then freed — memory stays bounded by the
+  /// open-query count, not the run length), and to_jsonl()'s store stays
+  /// empty. Incompatible with reservoir mode (a reservoir must retain
+  /// candidates to evict them; it is already bounded by construction):
+  /// reservoir is ignored while a stream is attached. Configure before
+  /// fanning out; pass nullptr to detach.
+  void set_stream(StreamingQueryTraceSink* sink);
+
   /// Snapshot of all stored traces, in mint order.
   [[nodiscard]] std::vector<QueryTrace> snapshot() const;
   /// Queries minted while enabled (including dropped ones).
   [[nodiscard]] std::uint64_t minted() const;
   /// Traces dropped because the store was full.
   [[nodiscard]] std::uint64_t dropped() const;
+  /// Traces kept (stored, or already streamed out).
+  [[nodiscard]] std::uint64_t kept() const;
+  /// Traces the sampling gate or the reservoir rejected.
+  [[nodiscard]] std::uint64_t sampled_out() const;
   /// Forget all stored traces (keeps the id counter monotonic).
   void clear();
+
+  /// Export the accounting into `registry` as obs.query_trace.kept /
+  /// .sampled_out / .dropped counters, so `mntp-inspect` reconciliation
+  /// can tell "sampled away on purpose" from "lost". Call at finalize.
+  void export_counters(MetricsRegistry& registry) const;
+
+  /// Streaming finalize: push every still-stored trace (finished or not)
+  /// to the attached sink in id order and drain it. No-op without a
+  /// stream. Returns false on sink I/O failure.
+  bool finish_stream(std::string_view run, core::TimePoint sim_end);
 
   /// Serialize the store as query-trace JSONL (schema v1): a meta line
   /// {"type":"meta","kind":"mntp_query_trace",...} then one
@@ -138,12 +206,33 @@ class QueryTracer {
                         core::TimePoint sim_end) const;
 
  private:
+  /// True when the gate keeps this id (pure function of sampling_ and id).
+  [[nodiscard]] bool gate_keeps(QueryId id) const;
+  /// Store a freshly minted trace, honouring the reservoir / capacity
+  /// rules. Caller holds mutex_.
+  void store_locked(QueryTrace trace);
+  /// Append the sampling meta block to a JsonWriter-owned string; caller
+  /// holds mutex_.
+  [[nodiscard]] bool sampling_active() const {
+    return sampling_.sample_one_in_n > 1 || sampling_.reservoir > 0;
+  }
+
   Limits limits_;
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::atomic<std::uint64_t> next_id_{1};
+  Sampling sampling_;
+  std::uint64_t gate_seed_ = 0;  // derive_stream_seed(sampling_.seed, 0)
+  std::uint64_t rank_seed_ = 0;  // derive_stream_seed(sampling_.seed, 1)
+  StreamingQueryTraceSink* stream_ = nullptr;
   std::vector<QueryTrace> traces_;
+  std::vector<std::size_t> free_slots_;  // recycled by stream/reservoir
   std::unordered_map<QueryId, std::size_t> index_;
+  /// Bottom-k reservoir: max-heap of (rank hash, id) over stored
+  /// candidates; the top is the first to evict.
+  std::vector<std::pair<std::uint64_t, QueryId>> reservoir_heap_;
+  std::uint64_t kept_ = 0;
+  std::uint64_t sampled_out_ = 0;
   std::uint64_t dropped_queries_ = 0;
   std::uint64_t dropped_stages_ = 0;
 };

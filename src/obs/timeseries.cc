@@ -125,7 +125,7 @@ bool TimeSeriesRecorder::suppressed() { return suppress_depth > 0; }
 ProbeHandle TimeSeriesRecorder::register_probe(std::string_view name,
                                                Labels labels,
                                                std::string probe_kind, Probe fn,
-                                               const Counter* counter) {
+                                               std::uint64_t initial_counter) {
   if (!capturing()) return {};
   std::lock_guard<std::mutex> lock(mutex_);
   // Always a fresh series: a second registration under the same
@@ -148,7 +148,7 @@ ProbeHandle TimeSeriesRecorder::register_probe(std::string_view name,
   reg.id = next_id_++;
   reg.fn = std::move(fn);
   reg.series = series_.back().get();
-  reg.last_counter = counter != nullptr ? counter->value() : 0;
+  reg.last_counter = initial_counter;
   probes_.push_back(std::move(reg));
   return ProbeHandle(this, probes_.back().id);
 }
@@ -156,7 +156,7 @@ ProbeHandle TimeSeriesRecorder::register_probe(std::string_view name,
 ProbeHandle TimeSeriesRecorder::probe(std::string_view name, Labels labels,
                                       Probe fn) {
   return register_probe(name, std::move(labels), "callback", std::move(fn),
-                        nullptr);
+                        0);
 }
 
 ProbeHandle TimeSeriesRecorder::counter_probe(std::string_view name,
@@ -171,7 +171,18 @@ ProbeHandle TimeSeriesRecorder::counter_probe(std::string_view name,
       [counter](core::TimePoint) -> std::optional<double> {
         return static_cast<double>(counter->value());
       },
-      counter);
+      counter->value());
+}
+
+ProbeHandle TimeSeriesRecorder::counter_probe(std::string_view name,
+                                              Labels labels,
+                                              const ShardedCounter* counter) {
+  return register_probe(
+      name, std::move(labels), "counter",
+      [counter](core::TimePoint) -> std::optional<double> {
+        return static_cast<double>(counter->value());
+      },
+      counter->value());
 }
 
 ProbeHandle TimeSeriesRecorder::gauge_probe(std::string_view name,
@@ -182,7 +193,7 @@ ProbeHandle TimeSeriesRecorder::gauge_probe(std::string_view name,
       [gauge](core::TimePoint) -> std::optional<double> {
         return gauge->value();
       },
-      nullptr);
+      0);
 }
 
 void TimeSeriesRecorder::unregister(std::uint64_t id) {
@@ -228,6 +239,47 @@ std::vector<const TimeSeries*> TimeSeriesRecorder::series() const {
 
 // --- Timeline JSONL -------------------------------------------------------
 
+void append_timeline_meta_json(std::string& out, std::string_view run_name,
+                               core::TimePoint sim_end,
+                               core::Duration cadence,
+                               std::size_t series_count) {
+  core::JsonWriter w(out);
+  w.begin_object()
+      .kv("type", "meta")
+      .kv("schema_version", 1)
+      .kv("kind", "mntp_timeline")
+      .kv("run", run_name)
+      .kv("sim_end_ns", sim_end.ns())
+      .kv("cadence_ns", cadence.ns())
+      .kv("series_count", static_cast<std::uint64_t>(series_count))
+      .end_object();
+}
+
+void append_timeline_series_json(std::string& out, const TimeSeries& s) {
+  core::JsonWriter w(out);
+  w.begin_object()
+      .kv("type", "series")
+      .kv("name", s.name())
+      .kv("probe", s.probe_kind());
+  w.key("labels").begin_object();
+  for (const auto& [k, v] : s.labels()) w.kv(k, v);
+  w.end_object();
+  w.kv("samples", s.samples());
+  w.kv("stride", s.stride());
+  w.key("points").begin_array();
+  for (const TimeSeriesPoint& p : s.points()) {
+    w.begin_array()
+        .value(p.t_ns)
+        .value(p.min)
+        .value(p.mean())
+        .value(p.max)
+        .value(p.last)
+        .value(p.count)
+        .end_array();
+  }
+  w.end_array().end_object();
+}
+
 void write_timeline(std::ostream& out, const TimeSeriesRecorder& recorder,
                     std::string_view run_name, core::TimePoint sim_end) {
   std::vector<const TimeSeries*> all = recorder.series();
@@ -239,43 +291,12 @@ void write_timeline(std::ostream& out, const TimeSeriesRecorder& recorder,
     if (!s->points().empty()) series.push_back(s);
   }
   std::string line;
-  {
-    core::JsonWriter w(line);
-    w.begin_object()
-        .kv("type", "meta")
-        .kv("schema_version", 1)
-        .kv("kind", "mntp_timeline")
-        .kv("run", run_name)
-        .kv("sim_end_ns", sim_end.ns())
-        .kv("cadence_ns", recorder.cadence().ns())
-        .kv("series_count", static_cast<std::uint64_t>(series.size()))
-        .end_object();
-  }
+  append_timeline_meta_json(line, run_name, sim_end, recorder.cadence(),
+                            series.size());
   out << line << '\n';
   for (const TimeSeries* s : series) {
     line.clear();
-    core::JsonWriter w(line);
-    w.begin_object()
-        .kv("type", "series")
-        .kv("name", s->name())
-        .kv("probe", s->probe_kind());
-    w.key("labels").begin_object();
-    for (const auto& [k, v] : s->labels()) w.kv(k, v);
-    w.end_object();
-    w.kv("samples", s->samples());
-    w.kv("stride", s->stride());
-    w.key("points").begin_array();
-    for (const TimeSeriesPoint& p : s->points()) {
-      w.begin_array()
-          .value(p.t_ns)
-          .value(p.min)
-          .value(p.mean())
-          .value(p.max)
-          .value(p.last)
-          .value(p.count)
-          .end_array();
-    }
-    w.end_array().end_object();
+    append_timeline_series_json(line, *s);
     out << line << '\n';
   }
 }

@@ -186,6 +186,11 @@ class TimeSeriesRecorder {
   /// Samples the counter's per-interval DELTA (0 on the first sample).
   ProbeHandle counter_probe(std::string_view name, Labels labels,
                             const Counter* counter);
+  /// Same, over a sharded counter (reads the merged total; the sampler
+  /// runs on the simulation thread, which owns all writes in a
+  /// single-threaded sim, so the delta is exact there).
+  ProbeHandle counter_probe(std::string_view name, Labels labels,
+                            const ShardedCounter* counter);
   /// Samples the gauge's current value.
   ProbeHandle gauge_probe(std::string_view name, Labels labels,
                           const Gauge* gauge);
@@ -212,7 +217,7 @@ class TimeSeriesRecorder {
   void unregister(std::uint64_t id);
   ProbeHandle register_probe(std::string_view name, Labels labels,
                              std::string probe_kind, Probe fn,
-                             const Counter* counter);
+                             std::uint64_t initial_counter);
 
   Options options_;
   std::atomic<bool> enabled_{false};
@@ -223,6 +228,15 @@ class TimeSeriesRecorder {
   std::vector<Registration> probes_;
   std::vector<std::unique_ptr<TimeSeries>> series_;
 };
+
+/// Per-line serializers shared by write_timeline and the chunked
+/// streaming export (obs/streaming.h) — one implementation, so both
+/// writers produce byte-identical lines.
+void append_timeline_meta_json(std::string& out, std::string_view run_name,
+                               core::TimePoint sim_end,
+                               core::Duration cadence,
+                               std::size_t series_count);
+void append_timeline_series_json(std::string& out, const TimeSeries& series);
 
 /// Serialize as timeline JSONL (schema_version 1, kind "mntp_timeline"):
 /// a meta line, then one line per non-empty series with points as

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/json.h"
@@ -16,6 +17,7 @@
 #include "mntp/params.h"
 #include "mntp/trace.h"
 #include "mntp/tuner.h"
+#include "obs/metrics.h"
 #include "obs/telemetry.h"
 
 namespace mntp::obs {
@@ -236,6 +238,159 @@ TEST(QueryTracer, EngineOutputBitIdenticalTracingOnOrOff) {
     EXPECT_EQ(off[i].phase, on[i].phase) << "record " << i;
     EXPECT_EQ(off[i].bootstrap, on[i].bootstrap) << "record " << i;
   }
+}
+
+// ------------------------------------------------------------- sampling
+
+TEST(QueryTracerSampling, GateIsAPureFunctionOfSeedAndId) {
+  // The kept set must depend only on (seed, n, id) — never on timing,
+  // interleaving, or how many times the run is repeated.
+  auto kept_ids = [](std::uint64_t seed) {
+    QueryTracer tracer;
+    tracer.set_enabled(true);
+    tracer.set_sampling({.sample_one_in_n = 4, .seed = seed});
+    for (int i = 0; i < 400; ++i) {
+      const QueryId id = tracer.begin(at(i), "round");
+      tracer.finish(id, at(i + 1), Reason::kOk);
+    }
+    std::vector<QueryId> ids;
+    for (const auto& t : tracer.snapshot()) ids.push_back(t.id);
+    return ids;
+  };
+  const auto first = kept_ids(7);
+  const auto again = kept_ids(7);
+  EXPECT_EQ(first, again);
+  EXPECT_FALSE(first.empty());
+  // Roughly 1-in-4 of 400 minted ids survive the hash gate.
+  EXPECT_GT(first.size(), 60u);
+  EXPECT_LT(first.size(), 140u);
+  // A different seed selects a different (deterministic) subset.
+  EXPECT_NE(kept_ids(8), first);
+}
+
+TEST(QueryTracerSampling, ConservationAndCounters) {
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_sampling({.sample_one_in_n = 3, .seed = 1});
+  for (int i = 0; i < 300; ++i) {
+    const QueryId id = tracer.begin(at(i), "exchange");
+    tracer.finish(id, at(i + 1), Reason::kOk);
+  }
+  EXPECT_EQ(tracer.minted(), 300u);
+  EXPECT_EQ(tracer.kept() + tracer.sampled_out() + tracer.dropped(), 300u);
+  EXPECT_EQ(tracer.kept(), tracer.snapshot().size());
+
+  // The registry export mirrors the same accounting.
+  MetricsRegistry reg;
+  tracer.export_counters(reg);
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "obs.query_trace.dropped");
+  EXPECT_DOUBLE_EQ(snaps[0].value, 0.0);
+  EXPECT_EQ(snaps[1].name, "obs.query_trace.kept");
+  EXPECT_DOUBLE_EQ(snaps[1].value, static_cast<double>(tracer.kept()));
+  EXPECT_EQ(snaps[2].name, "obs.query_trace.sampled_out");
+  EXPECT_DOUBLE_EQ(snaps[2].value,
+                   static_cast<double>(tracer.sampled_out()));
+}
+
+TEST(QueryTracerSampling, KeptIdSetIsThreadCountInvariant) {
+  // The acceptance bar of the fleet-telemetry PR: the same workload
+  // partitioned over 1, 4 or 16 workers keeps bit-identical id sets,
+  // because the gate hashes the id and ids are minted 1..N regardless
+  // of which thread begins which query.
+  auto run = [](std::size_t threads) {
+    QueryTracer tracer;
+    tracer.set_enabled(true);
+    tracer.set_sampling({.sample_one_in_n = 5, .seed = 42});
+    constexpr int kQueries = 400;
+    std::vector<std::thread> pool;
+    for (std::size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&tracer, threads, w] {
+        for (int i = 0; i < kQueries / static_cast<int>(threads); ++i) {
+          const QueryId id = tracer.begin(at(i), "round");
+          tracer.stage(id, at(i), "gate", Reason::kOk);
+          tracer.finish(id, at(i + 1), Reason::kOk);
+        }
+        (void)w;
+      });
+    }
+    for (auto& t : pool) t.join();
+    std::vector<QueryId> ids;
+    for (const auto& t : tracer.snapshot()) ids.push_back(t.id);
+    return ids;  // snapshot() is already id-sorted
+  };
+  const auto serial = run(1);
+  const auto four = run(4);
+  const auto sixteen = run(16);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, sixteen);
+}
+
+TEST(QueryTracerSampling, ReservoirCapsStoreAndConservesIds) {
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_sampling({.reservoir = 16});
+  for (int i = 0; i < 200; ++i) {
+    const QueryId id = tracer.begin(at(i), "round");
+    tracer.finish(id, at(i + 1), Reason::kOk);
+  }
+  EXPECT_EQ(tracer.minted(), 200u);
+  EXPECT_EQ(tracer.snapshot().size(), 16u);
+  EXPECT_EQ(tracer.kept(), 16u);
+  EXPECT_EQ(tracer.sampled_out(), 184u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(QueryTracerSampling, ReservoirKeptSetIsArrivalOrderIndependent) {
+  // Bottom-k ranks, not Algorithm R: the survivors are the k smallest
+  // hash ranks of the WHOLE stream, so any arrival interleaving of the
+  // same id set converges on the same kept set. Serial re-runs pin the
+  // determinism half; the tuner-driven test below covers interleaving.
+  auto kept = [] {
+    QueryTracer tracer;
+    tracer.set_enabled(true);
+    tracer.set_sampling({.seed = 3, .reservoir = 8});
+    for (int i = 0; i < 100; ++i) {
+      const QueryId id = tracer.begin(at(i), "round");
+      tracer.finish(id, at(i + 1), Reason::kOk);
+    }
+    std::vector<QueryId> ids;
+    for (const auto& t : tracer.snapshot()) ids.push_back(t.id);
+    return ids;
+  };
+  EXPECT_EQ(kept(), kept());
+  EXPECT_EQ(kept().size(), 8u);
+}
+
+TEST(QueryTracerSampling, MetaCarriesSamplingBlockOnlyWhenActive) {
+  // Byte-identity guarantee: an unsampled artifact has NO sampling key
+  // (old consumers see the exact old schema); a sampled one reconciles.
+  QueryTracer plain;
+  plain.set_enabled(true);
+  const QueryId id = plain.begin(at(1), "round");
+  plain.finish(id, at(2), Reason::kOk);
+  const std::string unsampled = plain.to_jsonl("run", at(3));
+  EXPECT_EQ(unsampled.find("\"sampling\""), std::string::npos);
+
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_sampling({.sample_one_in_n = 2, .seed = 9});
+  for (int i = 0; i < 50; ++i) {
+    const QueryId q = tracer.begin(at(i), "round");
+    tracer.finish(q, at(i + 1), Reason::kOk);
+  }
+  const std::string jsonl = tracer.to_jsonl("run", at(100));
+  const auto meta =
+      core::Json::parse(jsonl.substr(0, jsonl.find('\n')));
+  ASSERT_TRUE(meta.ok());
+  const core::Json& s = meta.value()["sampling"];
+  EXPECT_EQ(s["sample_one_in_n"].as_int(), 2);
+  EXPECT_EQ(s["seed"].as_int(), 9);
+  EXPECT_EQ(s["minted"].as_int(), 50);
+  EXPECT_EQ(s["kept"].as_int() + s["sampled_out"].as_int(), 50);
+  EXPECT_EQ(meta.value()["query_count"].as_int(), s["kept"].as_int());
 }
 
 // A "recorded" trace with deterministic variation for tuner replays.

@@ -1,0 +1,225 @@
+// Streaming-sink tests: chunked-writer meta patching and flush
+// accounting, the query-trace reorder window (in-order emission,
+// force-advance, straggler accounting), streamed-vs-batch body
+// equality, and timeline chunked-export byte identity.
+#include "obs/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "core/time.h"
+#include "obs/query_trace.h"
+#include "obs/timeseries.h"
+
+namespace mntp::obs {
+namespace {
+
+using core::TimePoint;
+
+TimePoint at(std::int64_t ns) { return TimePoint::from_ns(ns); }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::istringstream stream(read_file(path));
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(stream, line);) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(ChunkedJsonlWriter, MetaSlotPatchedAtClose) {
+  const std::string path = temp_path("chunked_meta.jsonl");
+  ChunkedJsonlWriter writer;
+  ASSERT_TRUE(writer.open(
+      path, ChunkedJsonlWriter::Options{.chunk_bytes = 32, .meta_width = 64}));
+  for (int i = 0; i < 10; ++i) {
+    writer.line("{\"type\":\"row\",\"i\":" + std::to_string(i) + "}");
+  }
+  ASSERT_TRUE(writer.close_with_meta("{\"type\":\"meta\",\"rows\":10}"));
+  // Tiny chunks force several physical flushes — the bounded-memory
+  // property the writer exists for.
+  EXPECT_GE(writer.flushes(), 3u);
+  EXPECT_GT(writer.bytes_written(), 0u);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 11u);
+  // The first line is the patched meta, space-padded to width-1; the
+  // padding must be insignificant to the parser.
+  EXPECT_EQ(lines[0].size(), 63u);
+  const auto meta = core::Json::parse(lines[0]);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value()["rows"].as_int(), 10);
+  for (int i = 0; i < 10; ++i) {
+    const auto row = core::Json::parse(lines[static_cast<std::size_t>(i) + 1]);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row.value()["i"].as_int(), i);
+  }
+}
+
+TEST(ChunkedJsonlWriter, RejectsMetaWiderThanTheSlot) {
+  const std::string path = temp_path("chunked_overflow.jsonl");
+  ChunkedJsonlWriter writer;
+  ASSERT_TRUE(writer.open(
+      path, ChunkedJsonlWriter::Options{.chunk_bytes = 64, .meta_width = 8}));
+  writer.line("{}");
+  EXPECT_FALSE(writer.close_with_meta("{\"far_too_long_for_the_slot\":1}"));
+}
+
+TEST(StreamingQueryTraceSink, EmitsOutOfOrderFinishesInIdOrder) {
+  const std::string path = temp_path("stream_reorder.jsonl");
+  QueryTracer tracer;
+  tracer.set_enabled(true);
+  StreamingQueryTraceSink sink;
+  ASSERT_TRUE(sink.open(path));
+  tracer.set_stream(&sink);
+
+  const QueryId a = tracer.begin(at(10), "round");
+  const QueryId b = tracer.begin(at(20), "round");
+  const QueryId c = tracer.begin(at(30), "round");
+  // Finish in reverse: c's line must wait for a and b.
+  tracer.finish(c, at(31), Reason::kOk);
+  tracer.finish(b, at(21), Reason::kTimeout);
+  tracer.finish(a, at(11), Reason::kOk);
+  ASSERT_TRUE(tracer.finish_stream("reorder_run", at(100)));
+
+  EXPECT_EQ(sink.emitted(), 3u);
+  EXPECT_EQ(sink.reorder_dropped(), 0u);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  std::vector<long long> ids;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto q = core::Json::parse(lines[i]);
+    ASSERT_TRUE(q.ok());
+    ids.push_back(q.value()["id"].as_int());
+  }
+  EXPECT_EQ(ids, (std::vector<long long>{
+                     static_cast<long long>(a), static_cast<long long>(b),
+                     static_cast<long long>(c)}));
+  const auto meta = core::Json::parse(lines[0]);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta.value()["streamed"].as_bool());
+  EXPECT_EQ(meta.value()["query_count"].as_int(), 3);
+}
+
+TEST(StreamingQueryTraceSink, StreamedBodyMatchesBatchExportByteForByte) {
+  // The core artifact-shape contract: modulo the meta line (padding and
+  // streaming keys), a streamed file is the batch file.
+  auto drive = [](QueryTracer& tracer) {
+    const QueryId round = tracer.begin(at(100), "round");
+    const QueryId exch = tracer.begin(at(110), "exchange", round);
+    tracer.stage(exch, at(120), "hop", Reason::kNone,
+                 {{"hop", std::string("wifi.up")}});
+    tracer.finish(exch, at(130), Reason::kOk, {{"offset_ms", 1.5}});
+    tracer.stage(round, at(135), "gate", Reason::kOk);
+    tracer.finish(round, at(140), Reason::kAcceptedRegular);
+  };
+
+  const std::string streamed_path = temp_path("stream_eq.jsonl");
+  QueryTracer streamed;
+  streamed.set_enabled(true);
+  StreamingQueryTraceSink sink;
+  ASSERT_TRUE(sink.open(streamed_path));
+  streamed.set_stream(&sink);
+  drive(streamed);
+  ASSERT_TRUE(streamed.finish_stream("eq_run", at(200)));
+
+  const std::string batch_path = temp_path("batch_eq.jsonl");
+  QueryTracer batch;
+  batch.set_enabled(true);
+  drive(batch);
+  ASSERT_TRUE(batch.write_jsonl_file(batch_path, "eq_run", at(200)));
+
+  const auto streamed_lines = read_lines(streamed_path);
+  const auto batch_lines = read_lines(batch_path);
+  ASSERT_EQ(streamed_lines.size(), batch_lines.size());
+  for (std::size_t i = 1; i < batch_lines.size(); ++i) {
+    EXPECT_EQ(streamed_lines[i], batch_lines[i]) << "line " << i;
+  }
+}
+
+TEST(StreamingQueryTraceSink, ForceAdvancePastGapCountsStragglers) {
+  const std::string path = temp_path("stream_force.jsonl");
+  StreamingQueryTraceSink sink;
+  StreamingQueryTraceSink::Options options;
+  options.max_pending = 2;
+  ASSERT_TRUE(sink.open(path, options));
+
+  auto trace = [](QueryId id) {
+    QueryTrace t;
+    t.id = id;
+    t.kind = "round";
+    t.started = at(static_cast<std::int64_t>(id) * 10);
+    t.finished = true;
+    return t;
+  };
+  // Id 1 never resolves; ids 2..4 pile up behind the gap until the
+  // window overflows and the sink force-advances past id 1.
+  sink.emit(trace(2));
+  sink.emit(trace(3));
+  sink.emit(trace(4));
+  // The straggler for the skipped id arrives with a payload: it cannot
+  // be emitted without breaking id order, so it is counted lost.
+  sink.emit(trace(1));
+  EXPECT_EQ(sink.reorder_dropped(), 1u);
+  ASSERT_TRUE(sink.close("force_run", at(1000), QueryTracer::Sampling{},
+                         /*minted=*/4, /*kept=*/4, /*sampled_out=*/0,
+                         /*dropped=*/0, /*dropped_stages=*/0));
+  EXPECT_EQ(sink.emitted(), 3u);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  const auto meta = core::Json::parse(lines[0]);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value()["reorder_dropped"].as_int(), 1);
+  std::vector<long long> ids;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    ids.push_back(core::Json::parse(lines[i]).value()["id"].as_int());
+  }
+  EXPECT_EQ(ids, (std::vector<long long>{2, 3, 4}));
+}
+
+TEST(WriteTimelineChunked, ByteIdenticalToBatchWriter) {
+  TimeSeriesRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.set_cadence(core::Duration::seconds(1));
+  double x = 0.0;
+  auto probe = recorder.probe(
+      "test.series", {{"unit", "x"}},
+      [&x](TimePoint) { return std::optional<double>(x); });
+  for (int i = 1; i <= 50; ++i) {
+    x = static_cast<double>(i) * 0.5;
+    recorder.sample(at(static_cast<std::int64_t>(i) * 1'000'000'000));
+  }
+
+  std::ostringstream batch;
+  write_timeline(batch, recorder, "tl_run", at(60'000'000'000));
+
+  const std::string path = temp_path("timeline_chunked.jsonl");
+  std::uint64_t bytes = 0, flushes = 0;
+  const core::Status status = write_timeline_chunked(
+      path, recorder, "tl_run", at(60'000'000'000), &bytes, &flushes);
+  ASSERT_TRUE(status.ok());
+  const std::string streamed = read_file(path);
+  EXPECT_EQ(streamed, batch.str());
+  EXPECT_EQ(bytes, streamed.size());
+  EXPECT_GE(flushes, 1u);
+}
+
+}  // namespace
+}  // namespace mntp::obs

@@ -59,6 +59,21 @@ double field_number(const Json& fields, const char* key) {
   return fields[key].as_double();
 }
 
+/// Forward compatibility: an artifact stamped with a schema_version this
+/// tool does not know is rendered best-effort (unknown keys are ignored,
+/// absent keys read as neutral defaults) behind a warning, instead of
+/// hard-failing — a newer producer should not brick an older inspector.
+/// Absent / zero versions (pre-versioning artifacts) stay silent.
+void warn_unknown_schema(const std::string& path, const Json& meta) {
+  const long long version = meta["schema_version"].as_int();
+  if (version != 0 && version != 1) {
+    std::fprintf(stderr,
+                 "mntp-inspect: %s: unknown schema_version %lld (this build "
+                 "understands 1); rendering best-effort\n",
+                 path.c_str(), version);
+  }
+}
+
 // ---------------------------------------------------------------- report
 
 struct SpanRow {
@@ -125,12 +140,21 @@ int inspect_report(const std::string& path,
     }
   }
 
-  // Metric tables: scalar metrics (counters/gauges) then histograms.
+  // Metric tables: scalar metrics (counters/gauges) then histograms. The
+  // obs.* family (telemetry metering itself — see src/obs/metric_names.h)
+  // gets its own table so self-overhead reads at a glance instead of
+  // interleaving with the run's real metrics.
   mntp::core::TextTable scalars({"metric", "labels", "kind", "value"});
+  mntp::core::TextTable obs_table({"metric", "kind", "value"});
   mntp::core::TextTable histograms(
       {"histogram", "labels", "count", "p50", "p90", "p99", "max"});
   for (const Json& m : metrics) {
     const std::string& kind = m["kind"].as_string();
+    if (kind != "histogram" && m["name"].as_string().rfind("obs.", 0) == 0) {
+      obs_table.add_row({m["name"].as_string(), kind,
+                         mntp::core::fmt_double(m["value"].as_double())});
+      continue;
+    }
     if (kind == "histogram") {
       histograms.add_row({m["name"].as_string(), format_labels(m["labels"]),
                           mntp::core::strformat("%lld", static_cast<long long>(
@@ -149,6 +173,10 @@ int inspect_report(const std::string& path,
   }
   if (histograms.rows() > 0) {
     std::printf("%s\n", histograms.render().c_str());
+  }
+  if (obs_table.rows() > 0) {
+    std::printf("telemetry self-accounting (obs.* metrics):\n%s\n",
+                obs_table.render().c_str());
   }
 
   if (!spans.empty()) {
@@ -282,6 +310,11 @@ int inspect_query_trace(const std::string& path,
   std::string run;
   double sim_end_s = 0.0;
   long long dropped = 0;
+  bool sampled = false;       // meta carried a "sampling" block
+  long long sample_n = 1, sample_seed = 0, reservoir = 0;
+  long long minted = 0, kept = 0, sampled_out = 0;
+  bool streamed = false;
+  long long reorder_dropped = 0;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     if (lines[i].empty()) continue;
     auto parsed = Json::parse(lines[i]);
@@ -303,6 +336,18 @@ int inspect_query_trace(const std::string& path,
       run = line["run"].as_string();
       sim_end_s = static_cast<double>(line["sim_end_ns"].as_int()) / 1e9;
       dropped = line["dropped"].as_int();
+      streamed = line["streamed"].as_bool();
+      reorder_dropped = line["reorder_dropped"].as_int();
+      if (line.has("sampling")) {
+        const Json& s = line["sampling"];
+        sampled = true;
+        sample_n = s["sample_one_in_n"].as_int();
+        sample_seed = s["seed"].as_int();
+        reservoir = s["reservoir"].as_int();
+        minted = s["minted"].as_int();
+        kept = s["kept"].as_int();
+        sampled_out = s["sampled_out"].as_int();
+      }
     } else if (type == "query") {
       TraceRow q;
       q.id = line["id"].as_int();
@@ -316,6 +361,36 @@ int inspect_query_trace(const std::string& path,
   std::printf("query trace: %s\n  run=%s  sim_end=%.1fs  %zu queries stored"
               " (%lld dropped)\n",
               path.c_str(), run.c_str(), sim_end_s, queries.size(), dropped);
+  if (streamed || reorder_dropped > 0) {
+    std::printf("  streamed artifact (%lld lost to reorder-window "
+                "force-advance)\n",
+                reorder_dropped);
+  }
+  if (sampled) {
+    std::printf("  sampling: 1-in-%lld (seed %lld%s)  minted=%lld kept=%lld "
+                "sampled_out=%lld\n",
+                sample_n, sample_seed,
+                reservoir > 0
+                    ? mntp::core::strformat(", reservoir %lld", reservoir)
+                          .c_str()
+                    : "",
+                minted, kept, sampled_out);
+    // Conservation: every minted id ends exactly one way (reorder drops
+    // are a subset of "kept" that the streaming sink lost at the file
+    // layer). A mismatch means the producer lost track of ids — worth
+    // shouting about, but the stored traces still render fine, so it
+    // stays informational.
+    if (minted != kept + sampled_out + dropped) {
+      std::printf("  WARNING: accounting mismatch: minted %lld != kept %lld "
+                  "+ sampled_out %lld + dropped %lld\n",
+                  minted, kept, sampled_out, dropped);
+    }
+    if (static_cast<long long>(queries.size()) != kept - reorder_dropped) {
+      std::printf("  WARNING: %zu query lines stored but meta claims %lld "
+                  "kept\n",
+                  queries.size(), kept - reorder_dropped);
+    }
+  }
 
   // Aggregate causation: every query's fate, bucketed by kind and
   // verdict reason; for round verdicts also by decision phase, so the
@@ -674,6 +749,7 @@ int inspect_file(const std::string& path, const Options& opt) {
     }
     if (json.has("traceEvents")) return inspect_profile(path, json);
     if (json["kind"].as_string() == "mntp_perf_suite") {
+      warn_unknown_schema(path, json);
       return inspect_bench(path, json);
     }
     std::fprintf(stderr, "mntp-inspect: %s: unrecognized JSON document\n",
@@ -687,6 +763,7 @@ int inspect_file(const std::string& path, const Options& opt) {
   if (!lines.empty()) {
     if (auto first = Json::parse(lines.front());
         first.ok() && first.value()["type"].as_string() == "meta") {
+      warn_unknown_schema(path, first.value());
       const std::string& kind = first.value()["kind"].as_string();
       if (kind == "mntp_timeline") {
         return inspect_timeline(path, lines, opt);
@@ -768,6 +845,8 @@ int main(int argc, char** argv) {
           "  `timeline` renders --timeline-out artifacts as per-series\n"
           "  sparklines with step-change flags (--series filters by\n"
           "  substring, --width sets sparkline columns).\n"
+          "  artifacts with an unknown schema_version render best-effort\n"
+          "  behind a stderr warning (exit stays 0).\n"
           "  exit codes: 0 ok, 1 unreadable/unrecognized artifact,\n"
           "  2 usage or empty/truncated artifact\n");
       return 0;
