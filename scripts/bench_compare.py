@@ -36,6 +36,15 @@ the speedup ratio, with `"before_median_us": null` and a note for
 workloads new in the candidate. The delta file is written even when the
 gate fails — a regression record is exactly what the PR discussion
 needs.
+
+--profile BASE_PROFILE CAND_PROFILE supplies a Chrome span-profile pair
+(--profile-out artifacts) for the same baseline/candidate runs; the
+spans are aggregated by name (total/self microseconds summed over
+complete events, the same aggregation as `mntp-inspect diff`) and the
+top movers ranked by |delta self| are embedded in the --write-delta
+record under "profile_span_movers" — so a committed BENCH_pr*.json
+carries the per-span attribution of the medians it records, not just
+the medians.
 """
 
 import argparse
@@ -73,8 +82,55 @@ def parse_tolerances(values, default_tolerance):
     return default, per_workload
 
 
+def aggregate_profile_spans(path):
+    """Span name -> {count, total_us, self_us} over ph:X complete events
+    (the same per-name aggregation src/obs/diff.cc uses)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot load profile {path}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit(f"bench_compare: {path} is not a Chrome span "
+                         "profile (no traceEvents array)")
+    spans = {}
+    for e in events:
+        if not isinstance(e, dict) or e.get("ph") != "X":
+            continue
+        agg = spans.setdefault(e.get("name", ""),
+                               {"count": 0, "total_us": 0.0, "self_us": 0.0})
+        agg["count"] += 1
+        agg["total_us"] += float(e.get("dur", 0.0))
+        agg["self_us"] += float(e.get("args", {}).get("self_us", 0.0))
+    return spans
+
+
+def profile_span_movers(base_path, cand_path, top=8):
+    """Ranked per-span attribution of the candidate-vs-baseline change:
+    top spans by |delta self_us| (self time is additive, so these deltas
+    ARE the decomposition of the end-to-end wall-time change)."""
+    base = aggregate_profile_spans(base_path)
+    cand = aggregate_profile_spans(cand_path)
+    movers = []
+    for name in sorted(set(base) | set(cand)):
+        b = base.get(name)
+        c = cand.get(name)
+        movers.append({
+            "span": name,
+            "before_total_us": round(b["total_us"], 3) if b else None,
+            "after_total_us": round(c["total_us"], 3) if c else None,
+            "before_self_us": round(b["self_us"], 3) if b else None,
+            "after_self_us": round(c["self_us"], 3) if c else None,
+            "delta_self_us": round((c["self_us"] if c else 0.0) -
+                                   (b["self_us"] if b else 0.0), 3),
+        })
+    movers.sort(key=lambda m: (-abs(m["delta_self_us"]), m["span"]))
+    return movers[:top]
+
+
 def write_delta(path, description, baseline, candidate, base_by_name,
-                cand_by_name):
+                cand_by_name, span_movers=None):
     """Emit the BENCH_pr*.json before/after record for this comparison."""
     if not description:
         description = (f"perf_suite medians: candidate vs baseline "
@@ -117,6 +173,8 @@ def write_delta(path, description, baseline, candidate, base_by_name,
         "environment": candidate.get("environment", {}),
         "workloads": workloads,
     }
+    if span_movers is not None:
+        doc["profile_span_movers"] = span_movers
     try:
         with open(path, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=2)
@@ -147,6 +205,11 @@ def main():
     parser.add_argument("--write-delta", metavar="PATH",
                         help="write the candidate-vs-baseline delta record "
                              "(BENCH_pr*.json format) to PATH")
+    parser.add_argument("--profile", nargs=2,
+                        metavar=("BASE_PROFILE", "CAND_PROFILE"),
+                        help="Chrome span-profile pair for the same runs; "
+                             "embeds the top per-span self-time movers in "
+                             "the --write-delta record")
     parser.add_argument("--delta-description", default="",
                         help="free-form 'description' field for "
                              "--write-delta")
@@ -222,9 +285,18 @@ def main():
               f"{b_name} {b['median_us']:.1f} us ({overhead:+.2f}%, "
               f"budget {pct:g}%)")
 
+    span_movers = None
+    if args.profile:
+        span_movers = profile_span_movers(args.profile[0], args.profile[1])
+        for m in span_movers:
+            print(f"SPAN {m['span']}: self "
+                  f"{m['before_self_us'] if m['before_self_us'] is not None else '-'} -> "
+                  f"{m['after_self_us'] if m['after_self_us'] is not None else '-'} us "
+                  f"(delta {m['delta_self_us']:+.1f})")
+
     if args.write_delta:
         write_delta(args.write_delta, args.delta_description, baseline,
-                    candidate, base_by_name, cand_by_name)
+                    candidate, base_by_name, cand_by_name, span_movers)
 
     if failures:
         print(f"bench_compare: {failures} regression(s) against "

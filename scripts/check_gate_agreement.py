@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Assert that the two bench gates can never drift apart.
+
+  check_gate_agreement.py BASELINE CANDIDATE --inspect MNTP_INSPECT
+      [--tolerance R] [--abs-floor-us N]
+
+The repo has two implementations of the bench regression gate:
+`scripts/bench_compare.py` (Python, drives CI) and `mntp-inspect diff`
+(C++, src/obs/diff.cc, drives triage). Both claim the same math:
+
+    candidate_median <= baseline_median * (1 + tolerance)
+                        + max(abs_floor_us, 4 * baseline_mad)
+
+This script runs BOTH gates on the same baseline/candidate pair and
+fails unless they agree per workload AND overall:
+
+  * bench_compare.py per-workload PASS/FAIL lines (parsed from stdout)
+    must match the per-workload `regression` flags in the diff JSON —
+    including missing-from-candidate workloads, which both gates fail.
+  * bench_compare's exit code (0 pass / 1 regression) must match the
+    diff exit code (0 identical-within-tolerance / 1 regression).
+
+Run it on an identical pair and on a regressed pair (the CTest wiring
+uses tests/data/diff_bench_{base,regressed}.json) so agreement is
+checked on both sides of the gate. Exit 0 on agreement, 1 on any
+divergence, 2 on bad inputs.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+
+def run_bench_compare(baseline, candidate, tolerance, abs_floor_us):
+    """Returns ({workload: passed_bool}, exit_code)."""
+    script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_compare.py")
+    cmd = [sys.executable, script, baseline, candidate,
+           "--tolerance", str(tolerance), "--abs-floor-us", str(abs_floor_us)]
+    r = subprocess.run(cmd, capture_output=True, text=True)
+    if r.returncode not in (0, 1):
+        raise SystemExit(f"check_gate_agreement: bench_compare errored "
+                         f"(exit {r.returncode}):\n{r.stdout}{r.stderr}")
+    verdicts = {}
+    # "PASS name: median ..." / "FAIL name: median ..." /
+    # "FAIL name: missing from candidate"; budget lines ("FAIL budget
+    # a:b:p: ...") are not per-workload gates and are skipped.
+    for line in r.stdout.splitlines():
+        m = re.match(r"^(PASS|FAIL) (?!budget )([^:]+):", line)
+        if m:
+            verdicts[m.group(2)] = m.group(1) == "PASS"
+    return verdicts, r.returncode
+
+
+def run_inspect_diff(inspect, baseline, candidate, tolerance, abs_floor_us):
+    """Returns ({workload: passed_bool}, exit_code)."""
+    cmd = [inspect, "diff", "--json", "--tolerance", str(tolerance),
+           "--abs-floor-us", str(abs_floor_us), baseline, candidate]
+    r = subprocess.run(cmd, capture_output=True, text=True)
+    if r.returncode not in (0, 1):
+        raise SystemExit(f"check_gate_agreement: mntp-inspect diff errored "
+                         f"(exit {r.returncode}):\n{r.stdout}{r.stderr}")
+    try:
+        doc = json.loads(r.stdout)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"check_gate_agreement: diff --json output is not "
+                         f"JSON: {e}")
+    verdicts = {}
+    for section in doc.get("sections", []):
+        for entry in section.get("entries", []):
+            # "added" rows are candidate-only workloads: bench_compare
+            # prints a NOTE, not a verdict, so they are not part of the
+            # agreement surface.
+            if entry.get("class") == "added":
+                continue
+            verdicts[entry["name"]] = not entry["regression"]
+    return verdicts, r.returncode
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--inspect", required=True,
+                        help="path to the mntp-inspect binary")
+    parser.add_argument("--tolerance", type=float, default=0.5)
+    parser.add_argument("--abs-floor-us", type=float, default=200.0)
+    args = parser.parse_args()
+
+    py_verdicts, py_exit = run_bench_compare(
+        args.baseline, args.candidate, args.tolerance, args.abs_floor_us)
+    cc_verdicts, cc_exit = run_inspect_diff(
+        args.inspect, args.baseline, args.candidate, args.tolerance,
+        args.abs_floor_us)
+
+    if not py_verdicts:
+        raise SystemExit("check_gate_agreement: bench_compare produced no "
+                         "per-workload verdicts")
+
+    divergences = []
+    for name in sorted(set(py_verdicts) | set(cc_verdicts)):
+        py = py_verdicts.get(name)
+        cc = cc_verdicts.get(name)
+        if py is None or cc is None:
+            divergences.append(f"{name}: present in "
+                               f"{'diff only' if py is None else 'bench_compare only'}")
+        elif py != cc:
+            divergences.append(
+                f"{name}: bench_compare says {'PASS' if py else 'FAIL'}, "
+                f"diff says {'pass' if cc else 'regression'}")
+    if py_exit != cc_exit:
+        divergences.append(f"exit codes differ: bench_compare {py_exit}, "
+                           f"diff {cc_exit}")
+
+    if divergences:
+        print("GATE DISAGREEMENT:")
+        for d in divergences:
+            print(f"  {d}")
+        return 1
+    print(f"OK: both gates agree on {len(py_verdicts)} workload(s) "
+          f"(exit {py_exit}) for {args.candidate} vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

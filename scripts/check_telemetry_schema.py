@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate MNTP observability artifacts.
 
-Six artifact kinds, detected from content (or forced with --kind):
+Seven artifact kinds, detected from content (or forced with --kind):
 
   * `report` — JSONL telemetry run report (schema v1, src/obs/report.h):
     line 1 is a `meta` object with schema_version 1 and run/sim_end_ns/
@@ -38,6 +38,13 @@ Six artifact kinds, detected from content (or forced with --kind):
     --trace-stream-out (kind mntp_trace_events, src/obs/streaming.h):
     line 1 is a close-patched `meta` object; every following line is an
     `event` with non-decreasing t_ns; event_count matches the body.
+  * `diff` — cross-run triage record written by `mntp-inspect diff
+    --json` (kind mntp_diff, src/obs/diff.h): schema_version 1, the
+    diffed artifact kind, a/b provenance, the significance options,
+    and ranked sections of named delta entries whose class vocabulary
+    is closed and whose significant/regressions tallies and exit_hint
+    must be internally consistent (regression implies significant;
+    exit_hint is 1 exactly when regressions > 0).
   * `timeline` — JSONL sim-time series written by --timeline-out
     (schema v1, src/obs/timeseries.h): line 1 is a `meta` object with
     kind mntp_timeline and run/sim_end_ns/cadence_ns/series_count; every
@@ -553,6 +560,105 @@ def validate_trace_events(path):
           f"run '{meta['run']}'")
 
 
+DIFF_ARTIFACT_KINDS = {"bench", "profile", "report", "query-trace",
+                       "timeline"}
+# The closed delta-class vocabulary of src/obs/diff.h: exact/shifted are
+# the exact-reconciliation classes for accounting counters, added/removed
+# mark one-sided rows, equal/changed everything else.
+DIFF_ENTRY_CLASSES = {"equal", "changed", "exact", "shifted", "added",
+                      "removed"}
+
+
+def validate_diff(path):
+    """Triage record from `mntp-inspect diff --json` (src/obs/diff.h)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"SCHEMA ERROR: {path}: invalid JSON: {e}")
+
+    def dfail(msg):
+        raise SystemExit(f"SCHEMA ERROR: {path}: {msg}")
+    if not isinstance(doc, dict):
+        dfail("top level must be an object")
+    if doc.get("schema_version") != 1:
+        dfail(f"unsupported schema_version {doc.get('schema_version')}")
+    if doc.get("kind") != "mntp_diff":
+        dfail(f"kind must be 'mntp_diff', got {doc.get('kind')!r}")
+    if doc.get("artifact_kind") not in DIFF_ARTIFACT_KINDS:
+        dfail(f"unknown artifact_kind {doc.get('artifact_kind')!r}")
+    for side in ("a", "b"):
+        block = doc.get(side)
+        if not isinstance(block, dict):
+            dfail(f"missing '{side}' provenance object")
+        for key in ("path", "run"):
+            if not isinstance(block.get(key), str):
+                dfail(f"{side}.{key} must be a string")
+    options = doc.get("options")
+    if not isinstance(options, dict):
+        dfail("missing 'options' object")
+    for key in ("tolerance", "abs_floor_us", "sigma", "divergence"):
+        if not is_number(options.get(key)):
+            dfail(f"options.{key} must be a number")
+    for key in ("significant", "regressions"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            dfail(f"'{key}' must be a non-negative integer")
+    if doc.get("exit_hint") not in (0, 1):
+        dfail(f"exit_hint must be 0 or 1, got {doc.get('exit_hint')!r}")
+    sections = doc.get("sections")
+    if not isinstance(sections, list):
+        dfail("'sections' must be an array")
+    significant = regressions = entries_total = 0
+    for si, section in enumerate(sections):
+        def sfail(msg):
+            raise SystemExit(f"SCHEMA ERROR: {path}: sections[{si}]: {msg}")
+        if not isinstance(section, dict):
+            sfail("not an object")
+        if not isinstance(section.get("title"), str) or not section["title"]:
+            sfail("'title' must be a non-empty string")
+        entries = section.get("entries")
+        if not isinstance(entries, list):
+            sfail("'entries' must be an array")
+        for ei, e in enumerate(entries):
+            def efail(msg):
+                raise SystemExit(f"SCHEMA ERROR: {path}: sections[{si}]"
+                                 f".entries[{ei}]: {msg}")
+            if not isinstance(e, dict):
+                efail("not an object")
+            if not isinstance(e.get("name"), str) or not e["name"]:
+                efail("'name' must be a non-empty string")
+            for key in ("before", "after"):
+                if e.get(key) is not None and not is_number(e[key]):
+                    efail(f"'{key}' must be a number or null")
+            for key in ("delta", "score"):
+                if not is_number(e.get(key)):
+                    efail(f"'{key}' must be a number")
+            for key in ("significant", "regression"):
+                if not isinstance(e.get(key), bool):
+                    efail(f"'{key}' must be a boolean")
+            if e["regression"] and not e["significant"]:
+                efail("regression entries must also be significant")
+            if e.get("class") not in DIFF_ENTRY_CLASSES:
+                efail(f"unknown class {e.get('class')!r}")
+            if not isinstance(e.get("note"), str):
+                efail("'note' must be a string")
+            significant += e["significant"]
+            regressions += e["regression"]
+            entries_total += 1
+    if doc["significant"] != significant:
+        dfail(f"'significant' is {doc['significant']} but entries flag "
+              f"{significant}")
+    if doc["regressions"] != regressions:
+        dfail(f"'regressions' is {doc['regressions']} but entries flag "
+              f"{regressions}")
+    if doc["exit_hint"] != (1 if regressions > 0 else 0):
+        dfail(f"exit_hint {doc['exit_hint']} inconsistent with "
+              f"{regressions} regression(s)")
+    print(f"OK: {path} — diff ({doc['artifact_kind']}) with "
+          f"{entries_total} entries, {significant} significant, "
+          f"{regressions} regression(s)")
+
+
 def check_timeline_meta(obj, lineno):
     for key in ("schema_version", "kind", "run", "sim_end_ns", "cadence_ns",
                 "series_count"):
@@ -688,6 +794,8 @@ def detect_kind(path):
         return "profile"
     if isinstance(doc, dict) and doc.get("kind") == "mntp_perf_suite":
         return "bench"
+    if isinstance(doc, dict) and doc.get("kind") == "mntp_diff":
+        return "diff"
     # A zero-query trace is a single meta line, i.e. valid whole-file JSON.
     if isinstance(doc, dict) and doc.get("kind") == "mntp_query_trace":
         return "query-trace"
@@ -706,7 +814,7 @@ def main():
     parser.add_argument("artifact", nargs="?", help="artifact to validate")
     parser.add_argument("--kind",
                         choices=("report", "profile", "bench", "query-trace",
-                                 "timeline", "trace-events"),
+                                 "timeline", "trace-events", "diff"),
                         help="artifact kind; detected from content if omitted")
     parser.add_argument("--generate", metavar="BINARY",
                         help="bench binary to run with --telemetry-out "
@@ -750,6 +858,8 @@ def main():
         validate_timeline(path)
     elif kind == "trace-events":
         validate_trace_events(path)
+    elif kind == "diff":
+        validate_diff(path)
     else:
         prefixes = [p for p in args.require_prefixes.split(",") if p]
         validate(path, prefixes)

@@ -15,9 +15,15 @@
 //
 // Exit code: 0 on success (anomalies are informational), 1 when any
 // input cannot be read or parsed, 2 on usage errors.
+//
+// The `diff` subcommand (src/obs/diff.h) compares two artifacts of the
+// same kind and has its own exit contract: 0 identical within
+// tolerance, 1 significant regression, 2 error.
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -30,6 +36,7 @@
 #include "core/linreg.h"
 #include "core/stats.h"
 #include "core/table.h"
+#include "obs/diff.h"
 
 using mntp::core::Json;
 
@@ -44,7 +51,43 @@ struct Options {
   bool timeline = false;     // `timeline` subcommand (explicit mode)
   std::string series;        // timeline: only series containing this
   std::size_t width = 64;    // timeline: sparkline columns
+  bool diff = false;         // `diff` subcommand (cross-run comparison)
+  bool json = false;         // diff: machine output instead of tables
+  mntp::obs::DiffOptions diff_opt;  // tolerance/floor/divergence/top
 };
+
+/// Checked numeric flag parsing: the whole argument must be a number
+/// (strtod/strtoll consume it completely), otherwise the caller prints
+/// usage and exits 2 — `--sigma foo` must be a loud usage error, not a
+/// silent 0.
+bool parse_double_arg(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || !std::isfinite(v)) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_ll_arg(const char* s, long long& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_size_arg(const char* s, std::size_t& out) {
+  long long v = 0;
+  if (!parse_ll_arg(s, v) || v < 0) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
 
 std::string format_labels(const Json& labels) {
   std::string out;
@@ -800,44 +843,102 @@ int inspect_file(const std::string& path, const Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   std::vector<std::string> paths;
+  // Every numeric flag goes through checked parsing: a value that is
+  // not entirely a number ("foo", "12x", "") is a usage error (exit 2),
+  // never a silent zero.
+  const auto bad_value = [](const std::string& flag, const char* value) {
+    std::fprintf(stderr,
+                 "mntp-inspect: %s needs a numeric value, got '%s'\n",
+                 flag.c_str(), value == nullptr ? "" : value);
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "explain" && paths.empty() && !opt.explain && !opt.timeline) {
+    // Split "--flag=value" once so each numeric flag has a single
+    // parse-and-validate path for both spellings.
+    std::string flag = arg;
+    const char* inline_value = nullptr;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        flag = arg.substr(0, eq);
+        inline_value = argv[i] + eq + 1;
+      }
+    }
+    const auto take_value = [&](const char*& out) {
+      if (inline_value != nullptr) {
+        out = inline_value;
+        return true;
+      }
+      if (i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    const char* value = nullptr;
+    if (arg == "explain" && paths.empty() && !opt.explain && !opt.timeline &&
+        !opt.diff) {
       // Subcommand: per-query timelines on top of the causation tables.
       opt.explain = true;
     } else if (arg == "timeline" && paths.empty() && !opt.timeline &&
-               !opt.explain) {
+               !opt.explain && !opt.diff) {
       // Subcommand: explicit timeline mode (the artifact kind is also
       // auto-detected; the subcommand exists for --series/--width
       // discoverability and to reject non-timeline inputs).
       opt.timeline = true;
-    } else if (arg == "--series" && i + 1 < argc) {
-      opt.series = argv[++i];
-    } else if (arg.rfind("--series=", 0) == 0) {
-      opt.series = arg.substr(std::strlen("--series="));
-    } else if (arg == "--width" && i + 1 < argc) {
-      opt.width = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (arg.rfind("--width=", 0) == 0) {
-      opt.width = static_cast<std::size_t>(
-          std::atoll(arg.c_str() + std::strlen("--width=")));
-    } else if (arg == "--sigma" && i + 1 < argc) {
-      opt.sigma = std::atof(argv[++i]);
-    } else if (arg.rfind("--sigma=", 0) == 0) {
-      opt.sigma = std::atof(arg.c_str() + std::strlen("--sigma="));
-    } else if (arg == "--query" && i + 1 < argc) {
-      opt.query_id = std::atoll(argv[++i]);
-    } else if (arg.rfind("--query=", 0) == 0) {
-      opt.query_id = std::atoll(arg.c_str() + std::strlen("--query="));
-    } else if (arg == "--limit" && i + 1 < argc) {
-      opt.limit = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (arg.rfind("--limit=", 0) == 0) {
-      opt.limit = static_cast<std::size_t>(
-          std::atoll(arg.c_str() + std::strlen("--limit=")));
+    } else if (arg == "diff" && paths.empty() && !opt.diff && !opt.explain &&
+               !opt.timeline) {
+      // Subcommand: cross-run diff of two artifacts of the same kind
+      // (src/obs/diff.h) with its own 0/1/2 exit-code contract.
+      opt.diff = true;
+    } else if (flag == "--json") {
+      opt.json = true;
+    } else if (flag == "--series") {
+      if (!take_value(value)) return bad_value(flag, value);
+      opt.series = value;
+    } else if (flag == "--width") {
+      if (!take_value(value) || !parse_size_arg(value, opt.width)) {
+        return bad_value(flag, value);
+      }
+    } else if (flag == "--sigma") {
+      if (!take_value(value) || !parse_double_arg(value, opt.sigma)) {
+        return bad_value(flag, value);
+      }
+      opt.diff_opt.sigma = opt.sigma;
+    } else if (flag == "--query") {
+      if (!take_value(value) || !parse_ll_arg(value, opt.query_id)) {
+        return bad_value(flag, value);
+      }
+    } else if (flag == "--limit") {
+      if (!take_value(value) || !parse_size_arg(value, opt.limit)) {
+        return bad_value(flag, value);
+      }
+    } else if (flag == "--tolerance") {
+      if (!take_value(value) ||
+          !parse_double_arg(value, opt.diff_opt.tolerance)) {
+        return bad_value(flag, value);
+      }
+    } else if (flag == "--abs-floor-us") {
+      if (!take_value(value) ||
+          !parse_double_arg(value, opt.diff_opt.abs_floor_us)) {
+        return bad_value(flag, value);
+      }
+    } else if (flag == "--divergence") {
+      if (!take_value(value) ||
+          !parse_double_arg(value, opt.diff_opt.divergence)) {
+        return bad_value(flag, value);
+      }
+    } else if (flag == "--top") {
+      if (!take_value(value) || !parse_size_arg(value, opt.diff_opt.top)) {
+        return bad_value(flag, value);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: mntp-inspect [--sigma N] <file>...\n"
           "       mntp-inspect explain [--query ID] [--limit N] <trace>...\n"
           "       mntp-inspect timeline [--series S] [--width N] <timeline>...\n"
+          "       mntp-inspect diff [--json] [--tolerance R] [--abs-floor-us N]\n"
+          "                         [--sigma N] [--divergence D] [--top N] <A> <B>\n"
           "  summarizes JSONL run reports, Chrome span profiles,\n"
           "  BENCH_results.json files, query-trace and timeline JSONL (kind\n"
           "  detected from content). `explain` adds per-query causal\n"
@@ -845,10 +946,17 @@ int main(int argc, char** argv) {
           "  `timeline` renders --timeline-out artifacts as per-series\n"
           "  sparklines with step-change flags (--series filters by\n"
           "  substring, --width sets sparkline columns).\n"
+          "  `diff` compares two artifacts of the same kind and attributes\n"
+          "  the change: bench medians gate with the bench_compare.py math,\n"
+          "  profile spans rank by self-time contribution, report counters\n"
+          "  get exact-reconciliation classes, query traces compare verdict\n"
+          "  shares, timelines score per-series divergence; --json emits the\n"
+          "  machine-readable triage record (kind mntp_diff).\n"
           "  artifacts with an unknown schema_version render best-effort\n"
           "  behind a stderr warning (exit stays 0).\n"
           "  exit codes: 0 ok, 1 unreadable/unrecognized artifact,\n"
-          "  2 usage or empty/truncated artifact\n");
+          "  2 usage or empty/truncated artifact; diff mode: 0 identical\n"
+          "  within tolerance, 1 significant regression, 2 error\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "mntp-inspect: unknown flag %s\n", arg.c_str());
@@ -857,14 +965,38 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (opt.sigma <= 0.0) {
+    std::fprintf(stderr, "mntp-inspect: --sigma must be > 0\n");
+    return 2;
+  }
+  if (opt.diff) {
+    if (paths.size() != 2) {
+      std::fprintf(stderr,
+                   "usage: mntp-inspect diff [--json] [--tolerance R] "
+                   "[--abs-floor-us N] [--sigma N] [--divergence D] "
+                   "[--top N] <A> <B>\n");
+      return 2;
+    }
+    auto result = mntp::obs::diff_files(paths[0], paths[1], opt.diff_opt);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mntp-inspect: diff: %s\n",
+                   result.error().message.c_str());
+      return 2;
+    }
+    const std::string rendered =
+        opt.json ? mntp::obs::render_diff_json(result.value(), opt.diff_opt)
+                 : mntp::obs::render_diff_text(result.value(), opt.diff_opt);
+    std::fputs(rendered.c_str(), stdout);
+    return result.value().exit_code();
+  }
+  if (opt.json) {
+    std::fprintf(stderr, "mntp-inspect: --json requires the diff mode\n");
+    return 2;
+  }
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: mntp-inspect [explain] [--sigma N] [--query ID] "
                  "[--limit N] <file>...\n");
-    return 2;
-  }
-  if (opt.sigma <= 0.0) {
-    std::fprintf(stderr, "mntp-inspect: --sigma must be > 0\n");
     return 2;
   }
   if (opt.query_id >= 0 && !opt.explain) {
