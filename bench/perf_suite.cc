@@ -32,6 +32,9 @@
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/table.h"
+#include "fleet/client_fleet.h"
+#include "fleet/params.h"
+#include "fleet/simulator.h"
 #include "logs/analyze.h"
 #include "logs/generate.h"
 #include "mntp/engine.h"
@@ -341,6 +344,27 @@ std::vector<Workload> build_workloads() {
     static volatile std::size_t sink;
     sink = static_cast<std::size_t>(report.median("accepted"));
   }});
+
+  // Fleet simulator: 50k SoA clients advanced through 30 sim-seconds of
+  // time-sliced shard processing plus the server-side batching / cache /
+  // KoD pipeline, single-threaded (the per-core number the gate tracks;
+  // thread scaling belongs to fleet_qps --threads). The population is
+  // built once and shared across reps — run() copies its mutable state.
+  {
+    fleet::FleetParams params;
+    params.clients = 50'000;
+    params.duration_s = 30.0;
+    params.shards = 16;
+    params.seed = 21;
+    auto fleet_pop = std::make_shared<const fleet::ClientFleet>(
+        fleet::ClientFleet::build(params));
+    workloads.push_back({"fleet_qps", [fleet_pop, params] {
+      fleet::Simulator sim(fleet_pop, params);
+      const fleet::FleetResult result = sim.run(1);
+      static volatile std::size_t sink;
+      sink = static_cast<std::size_t>(result.queries);
+    }});
+  }
 
   return workloads;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate MNTP observability artifacts.
 
-Seven artifact kinds, detected from content (or forced with --kind):
+Eight artifact kinds, detected from content (or forced with --kind):
 
   * `report` — JSONL telemetry run report (schema v1, src/obs/report.h):
     line 1 is a `meta` object with schema_version 1 and run/sim_end_ns/
@@ -45,6 +45,14 @@ Seven artifact kinds, detected from content (or forced with --kind):
     is closed and whose significant/regressions tallies and exit_hint
     must be internally consistent (regression implies significant;
     exit_hint is 1 exactly when regressions > 0).
+  * `fleet` — fleet-simulation report written by `bench/fleet_qps
+    --fleet-out` (kind mntp_fleet_report, src/fleet/report.h): params,
+    population and totals blocks whose conservation ledger must balance
+    (queries == arrived + dropped; per-server requests sum to arrived;
+    cache hits + misses and OWD valid + invalid both equal arrived - kod,
+    KoD-limited requests receiving no time response), a throughput block,
+    and the 4-row speaker x population and provider-category OWD tables
+    whose counts sum to owd_valid with p50<=p90<=p99 per row.
   * `timeline` — JSONL sim-time series written by --timeline-out
     (schema v1, src/obs/timeseries.h): line 1 is a `meta` object with
     kind mntp_timeline and run/sim_end_ns/cadence_ns/series_count; every
@@ -768,6 +776,162 @@ def validate_timeline(path):
           f"run '{meta['run']}'")
 
 
+FLEET_SPEAKERS = {"ntp", "sntp"}
+FLEET_POPULATIONS = {"wired", "wireless"}
+FLEET_CATEGORIES = ["cloud", "isp", "broadband", "mobile"]
+
+
+def check_fleet_owd_row(row, where, ffail):
+    if not isinstance(row, dict):
+        ffail(f"{where}: not an object")
+    if not isinstance(row.get("count"), int) or row["count"] < 0:
+        ffail(f"{where}: 'count' must be a non-negative integer")
+    for key in ("p50_ms", "p90_ms", "p99_ms", "mean_ms", "min_ms", "max_ms"):
+        if not is_number(row.get(key)) or row[key] < 0:
+            ffail(f"{where}: '{key}' must be a non-negative number")
+    if row["count"] > 0:
+        if not row["p50_ms"] <= row["p90_ms"] <= row["p99_ms"]:
+            ffail(f"{where}: quantiles must satisfy p50<=p90<=p99")
+        if row["min_ms"] > row["max_ms"]:
+            ffail(f"{where}: min_ms > max_ms")
+
+
+def validate_fleet(path):
+    """Fleet report from bench/fleet_qps --fleet-out (src/fleet/report.h).
+
+    Beyond field shapes, this enforces the simulator's conservation
+    ledger: every query is accounted for exactly once at every stage
+    (issued -> arrived/dropped -> per-server -> cache hit/miss and OWD
+    valid/invalid, both net of KoD-limited requests, which receive no
+    time response)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"SCHEMA ERROR: {path}: invalid JSON: {e}")
+
+    def ffail(msg):
+        raise SystemExit(f"SCHEMA ERROR: {path}: {msg}")
+    if not isinstance(doc, dict):
+        ffail("top level must be an object")
+    if doc.get("schema_version") != 1:
+        ffail(f"unsupported schema_version {doc.get('schema_version')}")
+    if doc.get("kind") != "mntp_fleet_report":
+        ffail(f"kind must be 'mntp_fleet_report', got {doc.get('kind')!r}")
+
+    params = doc.get("params")
+    if not isinstance(params, dict):
+        ffail("missing 'params' object")
+    for key in ("clients", "shards", "seed", "kod_limit_per_slice"):
+        if not isinstance(params.get(key), int) or params[key] < 0:
+            ffail(f"params.{key} must be a non-negative integer")
+    for key in ("duration_s", "cache_bucket_ms", "batch_window_ms"):
+        if not is_number(params.get(key)) or params[key] <= 0:
+            ffail(f"params.{key} must be a positive number")
+    for key in ("use_snr_lut", "coarse_ou_advance"):
+        if not isinstance(params.get(key), bool):
+            ffail(f"params.{key} must be a boolean")
+
+    pop = doc.get("population")
+    if not isinstance(pop, dict):
+        ffail("missing 'population' object")
+    for key in ("clients", "sntp_clients", "ntp_clients", "wireless_clients",
+                "wired_clients"):
+        if not isinstance(pop.get(key), int) or pop[key] < 0:
+            ffail(f"population.{key} must be a non-negative integer")
+    if pop["sntp_clients"] + pop["ntp_clients"] != pop["clients"]:
+        ffail("population: sntp_clients + ntp_clients != clients")
+    if pop["wireless_clients"] + pop["wired_clients"] != pop["clients"]:
+        ffail("population: wireless_clients + wired_clients != clients")
+    if pop["clients"] != params["clients"]:
+        ffail("population.clients != params.clients")
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        ffail("missing 'totals' object")
+    for key in ("queries", "arrived", "dropped", "kod", "batches",
+                "cache_hits", "cache_misses", "owd_valid", "owd_invalid"):
+        if not isinstance(totals.get(key), int) or totals[key] < 0:
+            ffail(f"totals.{key} must be a non-negative integer")
+    if totals["queries"] != totals["arrived"] + totals["dropped"]:
+        ffail("totals: queries != arrived + dropped")
+    served = totals["arrived"] - totals["kod"]
+    if totals["cache_hits"] + totals["cache_misses"] != served:
+        ffail("totals: cache_hits + cache_misses != arrived - kod")
+    if totals["owd_valid"] + totals["owd_invalid"] != served:
+        ffail("totals: owd_valid + owd_invalid != arrived - kod")
+
+    throughput = doc.get("throughput")
+    if not isinstance(throughput, dict):
+        ffail("missing 'throughput' object")
+    if not isinstance(throughput.get("threads"), int) or \
+            throughput["threads"] < 1:
+        ffail("throughput.threads must be a positive integer")
+    for key in ("wall_s", "qps", "qps_per_core"):
+        if not is_number(throughput.get(key)) or throughput[key] < 0:
+            ffail(f"throughput.{key} must be a non-negative number")
+
+    servers = doc.get("servers")
+    if not isinstance(servers, list) or not servers:
+        ffail("'servers' must be a non-empty array")
+    server_sum = 0
+    seen_ids = set()
+    for i, s in enumerate(servers):
+        if not isinstance(s, dict):
+            ffail(f"servers[{i}]: not an object")
+        if not isinstance(s.get("id"), str) or not s["id"]:
+            ffail(f"servers[{i}]: 'id' must be a non-empty string")
+        if s["id"] in seen_ids:
+            ffail(f"servers[{i}]: duplicate id {s['id']!r}")
+        seen_ids.add(s["id"])
+        if not isinstance(s.get("requests"), int) or s["requests"] < 0:
+            ffail(f"servers[{i}]: 'requests' must be a non-negative integer")
+        server_sum += s["requests"]
+    if server_sum != totals["arrived"]:
+        ffail(f"per-server requests sum to {server_sum}, totals.arrived is "
+              f"{totals['arrived']}")
+
+    owd = doc.get("owd")
+    if not isinstance(owd, list) or len(owd) != 4:
+        ffail("'owd' must be an array of the 4 speaker x population rows")
+    owd_count = 0
+    seen_classes = set()
+    for i, row in enumerate(owd):
+        where = f"owd[{i}]"
+        check_fleet_owd_row(row, where, ffail)
+        if row.get("speaker") not in FLEET_SPEAKERS:
+            ffail(f"{where}: unknown speaker {row.get('speaker')!r}")
+        if row.get("population") not in FLEET_POPULATIONS:
+            ffail(f"{where}: unknown population {row.get('population')!r}")
+        key = (row["speaker"], row["population"])
+        if key in seen_classes:
+            ffail(f"{where}: duplicate class {key}")
+        seen_classes.add(key)
+        owd_count += row["count"]
+    if owd_count != totals["owd_valid"]:
+        ffail(f"owd row counts sum to {owd_count}, totals.owd_valid is "
+              f"{totals['owd_valid']}")
+
+    cat = doc.get("category_owd")
+    if not isinstance(cat, list) or len(cat) != 4:
+        ffail("'category_owd' must be an array of the 4 provider categories")
+    cat_count = 0
+    for i, row in enumerate(cat):
+        where = f"category_owd[{i}]"
+        check_fleet_owd_row(row, where, ffail)
+        if row.get("category") != FLEET_CATEGORIES[i]:
+            ffail(f"{where}: expected category "
+                  f"{FLEET_CATEGORIES[i]!r}, got {row.get('category')!r}")
+        cat_count += row["count"]
+    if cat_count != totals["owd_valid"]:
+        ffail(f"category_owd counts sum to {cat_count}, totals.owd_valid is "
+              f"{totals['owd_valid']}")
+
+    print(f"OK: {path} — fleet report, {params['clients']} clients, "
+          f"{totals['queries']} queries, "
+          f"{throughput['qps_per_core']:.0f} q/s/core")
+
+
 def detect_kind(path):
     """Whole-file JSON => profile/bench; otherwise JSONL run report."""
     try:
@@ -796,6 +960,8 @@ def detect_kind(path):
         return "bench"
     if isinstance(doc, dict) and doc.get("kind") == "mntp_diff":
         return "diff"
+    if isinstance(doc, dict) and doc.get("kind") == "mntp_fleet_report":
+        return "fleet"
     # A zero-query trace is a single meta line, i.e. valid whole-file JSON.
     if isinstance(doc, dict) and doc.get("kind") == "mntp_query_trace":
         return "query-trace"
@@ -814,7 +980,7 @@ def main():
     parser.add_argument("artifact", nargs="?", help="artifact to validate")
     parser.add_argument("--kind",
                         choices=("report", "profile", "bench", "query-trace",
-                                 "timeline", "trace-events", "diff"),
+                                 "timeline", "trace-events", "diff", "fleet"),
                         help="artifact kind; detected from content if omitted")
     parser.add_argument("--generate", metavar="BINARY",
                         help="bench binary to run with --telemetry-out "
@@ -836,8 +1002,8 @@ def main():
         flag = {"profile": "--profile-out",
                 "query-trace": "--query-trace-out",
                 "timeline": "--timeline-out",
-                "trace-events": "--trace-stream-out"}.get(args.kind,
-                                                          "--telemetry-out")
+                "trace-events": "--trace-stream-out",
+                "fleet": "--fleet-out"}.get(args.kind, "--telemetry-out")
         # The bench's own PASS/FAIL shape checks are not under test here;
         # only the telemetry output is.
         subprocess.run([args.generate, flag, path] + args.extra_args.split(),
@@ -860,6 +1026,8 @@ def main():
         validate_trace_events(path)
     elif kind == "diff":
         validate_diff(path)
+    elif kind == "fleet":
+        validate_fleet(path)
     else:
         prefixes = [p for p in args.require_prefixes.split(",") if p]
         validate(path, prefixes)

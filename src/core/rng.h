@@ -158,4 +158,78 @@ class Rng {
   bool have_spare_ = false;  // normal_fast spare validity
 };
 
+/// Counter-based mini generator: the stream-derivation rule turned into
+/// a sequence. Draw k is exactly `derive_stream_seed(seed, k)`, so a
+/// SmallRng is pure state-free arithmetic — two 64-bit multiplies and a
+/// mix per draw, no warm-up, trivially constructible per (entity, event)
+/// pair. That is the property the fleet layer is built on: every
+/// simulated query owns the stream `SmallRng(derive_stream_seed(
+/// client_seed, query_key))`, which makes each query's randomness a pure
+/// function of seeds — independent of shard partitioning, thread
+/// scheduling, and every other client's activity. An mt19937_64 is the
+/// wrong tool there (2.5 KB of state and a ~312-word init per query);
+/// splitmix64 passes BigCrush and costs nothing to seed.
+///
+/// The distribution helpers mirror Rng's `_fast` family (same math, same
+/// draw-count documentation); they are NOT stream-compatible with Rng —
+/// different engine, different realizations, same distributions.
+class SmallRng {
+ public:
+  explicit constexpr SmallRng(std::uint64_t seed) : seed_(seed) {}
+
+  /// Draw k of the stream: derive_stream_seed(seed, k), k = 0, 1, ...
+  [[nodiscard]] constexpr std::uint64_t next_u64() {
+    return derive_stream_seed(seed_, counter_++);
+  }
+
+  /// Canonical uniform in [0,1): top 53 bits of one draw.
+  [[nodiscard]] double canonical() {
+    return static_cast<double>(next_u64() >> 11) * 0x1p-53;
+  }
+
+  /// Bernoulli trial via one canonical draw.
+  [[nodiscard]] bool bernoulli(double p) { return canonical() < p; }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * canonical();
+  }
+
+  /// Exponential with the given mean; one draw (cf. Rng::exponential_fast).
+  [[nodiscard]] double exponential(double mean) {
+    return -mean * std::log1p(-canonical());
+  }
+
+  /// Gaussian via the Marsaglia polar method with the spare cached
+  /// (cf. Rng::normal_fast).
+  [[nodiscard]] double normal(double mean, double stddev) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * canonical() - 1.0;
+      v = 2.0 * canonical() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return mean + stddev * u * m;
+  }
+
+  /// Pareto with the same tail clamp as Rng::pareto (kParetoMinU floor).
+  [[nodiscard]] double pareto(double xm, double alpha) {
+    const double u = std::max(canonical(), Rng::kParetoMinU);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
 }  // namespace mntp::core

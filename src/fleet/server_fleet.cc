@@ -1,0 +1,102 @@
+#include "fleet/server_fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/rng.h"
+#include "ntp/server.h"
+#include "obs/metric_names.h"
+#include "obs/telemetry.h"
+
+namespace mntp::fleet {
+
+namespace {
+constexpr std::uint64_t kServerStream = 1;  // see client_fleet.cc seed map
+constexpr double kNsPerMs = 1e6;
+}  // namespace
+
+ServerFleet::ServerFleet(const FleetParams& params, std::size_t servers)
+    : seed_root_(core::derive_stream_seed(params.seed, kServerStream)),
+      kod_limit_(params.kod_limit_per_slice),
+      kod_backoff_factor_(params.kod_backoff_factor),
+      kod_cap_ns_(static_cast<std::uint64_t>(params.kod_backoff_cap_s * 1e9)),
+      cache_bucket_ns_(
+          static_cast<std::uint64_t>(params.cache_bucket_ms * kNsPerMs)),
+      batch_window_ns_(
+          static_cast<std::uint64_t>(params.batch_window_ms * kNsPerMs)),
+      server_err_sigma_ms_(params.server_err_sigma_ms),
+      state_(servers) {
+  obs::MetricsRegistry& m = obs::Telemetry::global().metrics();
+  requests_counter_.reserve(servers);
+  for (std::size_t s = 0; s < servers; ++s) {
+    const std::string_view id = s < logs::kPaperServers.size()
+                                    ? logs::kPaperServers[s].id
+                                    : std::string_view("?");
+    requests_counter_.push_back(
+        m.sharded_counter(obs::metric_names::kFleetServerRequests,
+                          obs::Labels{{"server", std::string(id)}}));
+  }
+  kod_counter_ = m.sharded_counter(obs::metric_names::kFleetServerKod);
+  batches_counter_ = m.sharded_counter(obs::metric_names::kFleetServerBatches);
+  cache_hit_counter_ =
+      m.sharded_counter(obs::metric_names::kFleetServerCacheHits);
+  cache_miss_counter_ =
+      m.sharded_counter(obs::metric_names::kFleetServerCacheMisses);
+}
+
+void ServerFleet::process_slice(std::size_t server,
+                                std::span<const ArrivalRecord> arrivals,
+                                const ClientFleet& fleet,
+                                std::span<std::uint64_t> interval_ns,
+                                OwdCollector& owd) {
+  State& st = state_[server];
+  const std::uint64_t server_seed =
+      core::derive_stream_seed(seed_root_, server);
+  std::uint64_t slice_requests = 0;
+  for (const ArrivalRecord& a : arrivals) {
+    ++st.totals.requests;
+    requests_counter_[server]->inc();
+    // Batching: a new batch window opens a new batch. The cursor
+    // persists across slices so a window straddling a slice boundary is
+    // still one batch.
+    const std::uint64_t batch = a.arrive_ns / batch_window_ns_;
+    if (batch != st.prev_batch) {
+      st.prev_batch = batch;
+      ++st.totals.batches;
+      batches_counter_->inc();
+    }
+    // KoD rate limit: over-limit requests get no time response; the
+    // client backs off its poll interval (capped).
+    if (++slice_requests > kod_limit_) {
+      ++st.totals.kod;
+      kod_counter_->inc();
+      interval_ns[a.client] = ntp::kod_backoff_interval_ns(
+          interval_ns[a.client], kod_backoff_factor_, kod_cap_ns_);
+      continue;
+    }
+    // Response cache: the server's clock error is a pure function of
+    // (server seed, cache bucket) — recomputed on a bucket change,
+    // served from cache inside it.
+    const std::uint64_t bucket = a.arrive_ns / cache_bucket_ns_;
+    if (bucket != st.cached_bucket) {
+      st.cached_bucket = bucket;
+      core::SmallRng rng(core::derive_stream_seed(server_seed, bucket));
+      st.cached_err_ms = rng.normal(0.0, server_err_sigma_ms_);
+      ++st.totals.cache_misses;
+      cache_miss_counter_->inc();
+    } else {
+      ++st.totals.cache_hits;
+      cache_hit_counter_->inc();
+    }
+    const double owd_ms = a.partial_ms + st.cached_err_ms;
+    owd.record(server, fleet.speaker(a.client), fleet.population(a.client),
+               fleet.category(a.client), owd_ms);
+  }
+}
+
+void ServerFleet::reset() {
+  for (State& st : state_) st = State{};
+}
+
+}  // namespace mntp::fleet

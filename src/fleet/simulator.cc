@@ -1,0 +1,284 @@
+#include "fleet/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "obs/metric_names.h"
+#include "obs/telemetry.h"
+
+namespace mntp::fleet {
+
+namespace {
+
+constexpr std::uint64_t kClientStream = 0;  // see client_fleet.cc seed map
+constexpr double kNsPerSec = 1e9;
+constexpr double kNsPerMs = 1e6;
+
+/// Euler tick used by the slow (coarse_ou_advance=false) shadowing
+/// integrator, matching WirelessChannelParams::tick.
+constexpr double kOuTickS = 0.1;
+
+}  // namespace
+
+bool FleetResult::deterministic_equal(const FleetResult& other) const {
+  return clients == other.clients && sntp_clients == other.sntp_clients &&
+         ntp_clients == other.ntp_clients &&
+         wireless_clients == other.wireless_clients &&
+         wired_clients == other.wired_clients && queries == other.queries &&
+         arrived == other.arrived && dropped == other.dropped &&
+         kod == other.kod && batches == other.batches &&
+         cache_hits == other.cache_hits &&
+         cache_misses == other.cache_misses &&
+         server_requests == other.server_requests && owd == other.owd;
+}
+
+Simulator::Simulator(std::shared_ptr<const ClientFleet> fleet,
+                     FleetParams params)
+    : fleet_(std::move(fleet)), params_(params) {
+  if (!fleet_) throw std::invalid_argument("Simulator: null fleet");
+  if (params_.shards == 0) {
+    throw std::invalid_argument("Simulator: shards must be > 0");
+  }
+  const double min_poll_s =
+      std::min(params_.sntp_poll_min_s,
+               std::ldexp(1.0, params_.ntp_poll_min_log2));
+  if (params_.slice_s <= 0.0 || params_.slice_s >= min_poll_s) {
+    // The at-most-one-query-per-client-per-slice invariant (and with it
+    // the collision-free calendar wheel) needs slice < min poll.
+    throw std::invalid_argument(
+        "Simulator: slice_s must be in (0, min poll interval)");
+  }
+  if (params_.use_snr_lut) {
+    snr_lut_ = net::SnrFailureLut::build(params_.snr50_db,
+                                         params_.snr_slope_db);
+  }
+  obs::MetricsRegistry& m = obs::Telemetry::global().metrics();
+  queries_counter_ = m.sharded_counter(obs::metric_names::kFleetClientQueries);
+  dropped_counter_ = m.sharded_counter(obs::metric_names::kFleetClientDropped);
+}
+
+FleetResult Simulator::run(std::size_t threads) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const ClientFleet& fleet = *fleet_;
+  const std::size_t n = static_cast<std::size_t>(fleet.size());
+  const auto slice_ns =
+      static_cast<std::uint64_t>(params_.slice_s * kNsPerSec);
+  const auto duration_ns =
+      static_cast<std::uint64_t>(params_.duration_s * kNsPerSec);
+  const std::uint64_t n_slices = (duration_ns + slice_ns - 1) / slice_ns;
+  const std::size_t shards = std::min(params_.shards, n);
+  const std::size_t per_shard = (n + shards - 1) / shards;
+  const std::size_t servers = logs::kPaperServers.size();
+
+  // Wheel horizon: one slot per slice of the maximum possible poll
+  // interval (the KoD backoff cap) plus slack, so slot index (poll /
+  // slice) mod H is collision-free — every id drained at slice t polls
+  // exactly in slice t.
+  const std::uint64_t wheel_h =
+      static_cast<std::uint64_t>(params_.kod_backoff_cap_s / params_.slice_s) +
+      2;
+
+  // Per-run mutable client state, copied so runs are independent.
+  std::vector<std::uint64_t> next_poll(fleet.init_next_poll_ns());
+  std::vector<std::uint64_t> interval(fleet.init_interval_ns());
+  std::vector<double> shadow_db(n, 0.0);
+  std::vector<std::uint64_t> last_adv_ns(n, 0);
+
+  // Calendar wheels and arrival buffers, per shard.
+  std::vector<std::vector<std::vector<std::uint32_t>>> wheel(shards);
+  std::vector<std::vector<std::uint32_t>> drain_scratch(shards);
+  std::vector<std::vector<std::vector<ArrivalRecord>>> arrivals(shards);
+  for (std::size_t sh = 0; sh < shards; ++sh) {
+    wheel[sh].resize(wheel_h);
+    arrivals[sh].resize(servers);
+    const std::size_t lo = sh * per_shard;
+    const std::size_t hi = std::min(lo + per_shard, n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (next_poll[i] < duration_ns) {
+        wheel[sh][(next_poll[i] / slice_ns) % wheel_h].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  // Per-shard tallies (disjoint writes; summed serially after the loop).
+  std::vector<std::uint64_t> shard_queries(shards, 0);
+  std::vector<std::uint64_t> shard_dropped(shards, 0);
+
+  OwdCollector owd(servers, params_.owd_valid_min_ms,
+                   params_.owd_valid_max_ms);
+  ServerFleet server_fleet(params_, servers);
+  std::vector<std::vector<ArrivalRecord>> gather(servers);
+
+  const std::uint64_t client_root =
+      core::derive_stream_seed(params_.seed, kClientStream);
+  const double mobile_shape = params_.pareto_shape_mobile;
+  const double fixed_shape = params_.pareto_shape_fixed;
+
+  core::ThreadPool pool(threads <= 1 ? 0 : threads);
+
+  for (std::uint64_t slice = 0; slice < n_slices; ++slice) {
+    const std::uint64_t slot_index = slice % wheel_h;
+    // Phase A: clients. Each shard owns its wheel, its arrival buffers
+    // and its slice tallies; the only shared reads are the immutable
+    // fleet columns.
+    pool.parallel_for(0, shards, [&](std::size_t sh) {
+      std::vector<std::uint32_t>& scratch = drain_scratch[sh];
+      scratch.swap(wheel[sh][slot_index]);
+      std::uint64_t q_count = 0;
+      std::uint64_t d_count = 0;
+      for (const std::uint32_t id : scratch) {
+        const std::uint64_t poll_ns = next_poll[id];
+        core::SmallRng q(core::derive_stream_seed(
+            core::derive_stream_seed(client_root, id), poll_ns));
+        ++q_count;
+        queries_counter_->inc();
+
+        const std::uint8_t traits = fleet.traits()[id];
+        const bool wireless = (traits & ClientTraits::kWireless) != 0;
+        bool delivered;
+        double backoff_ms = 0.0;
+        if (wireless) {
+          // Shadowing OU advance across the idle gap: one exact
+          // transition on the fast path, Euler ticks otherwise (the
+          // same pair of integrators WirelessChannel::advance_to has,
+          // here keyed per client).
+          const double gap_s =
+              static_cast<double>(poll_ns - last_adv_ns[id]) / kNsPerSec;
+          double sh_db = shadow_db[id];
+          if (params_.coarse_ou_advance) {
+            const double d = std::exp(-gap_s / params_.shadowing_tau_s);
+            sh_db = d * sh_db + params_.shadowing_sigma_db *
+                                    std::sqrt(1.0 - d * d) *
+                                    q.normal(0.0, 1.0);
+          } else {
+            double remaining = gap_s;
+            while (remaining > 0.0) {
+              const double dt = std::min(remaining, kOuTickS);
+              const double a = dt / params_.shadowing_tau_s;
+              sh_db += -a * sh_db + params_.shadowing_sigma_db *
+                                        std::sqrt(2.0 * a) *
+                                        q.normal(0.0, 1.0);
+              remaining -= dt;
+            }
+          }
+          shadow_db[id] = sh_db;
+          last_adv_ns[id] = poll_ns;
+
+          const double snr_db = fleet.snr_mean_db()[id] + sh_db;
+          const double p_fail =
+              params_.use_snr_lut
+                  ? snr_lut_(snr_db)
+                  : 1.0 / (1.0 + std::exp((snr_db - params_.snr50_db) /
+                                          params_.snr_slope_db));
+          // MAC retry loop, same draw discipline as WirelessChannel:
+          // no backoff is drawn for a retry that never happens.
+          delivered = false;
+          for (int attempt = 0; attempt <= params_.max_retries; ++attempt) {
+            if (!q.bernoulli(p_fail)) {
+              delivered = true;
+              break;
+            }
+            if (attempt == params_.max_retries) break;
+            backoff_ms += q.exponential(params_.retry_backoff_ms) *
+                          static_cast<double>(attempt + 1);
+          }
+        } else {
+          delivered = !q.bernoulli(params_.wired_loss);
+        }
+
+        if (delivered) {
+          const bool mobile = fleet.category(id) ==
+                              logs::ProviderCategory::kMobile;
+          double owd_ms =
+              static_cast<double>(fleet.base_owd_ms()[id]) *
+                  q.pareto(1.0, mobile ? mobile_shape : fixed_shape) +
+              backoff_ms;
+          owd_ms = std::min(owd_ms, params_.owd_cap_ms);
+          const double poll_s = static_cast<double>(poll_ns) / kNsPerSec;
+          const double client_err_ms =
+              static_cast<double>(fleet.clock_err_ms()[id]) +
+              static_cast<double>(fleet.skew_ppm()[id]) * poll_s * 1e-3;
+          arrivals[sh][fleet.server()[id]].push_back(ArrivalRecord{
+              .arrive_ns =
+                  poll_ns + static_cast<std::uint64_t>(owd_ms * kNsPerMs),
+              .client = id,
+              .partial_ms = owd_ms - client_err_ms,
+          });
+        } else {
+          ++d_count;
+          dropped_counter_->inc();
+        }
+
+        const std::uint64_t np = poll_ns + interval[id];
+        next_poll[id] = np;
+        if (np < duration_ns) {
+          wheel[sh][(np / slice_ns) % wheel_h].push_back(id);
+        }
+      }
+      scratch.clear();
+      shard_queries[sh] += q_count;
+      shard_dropped[sh] += d_count;
+    });
+
+    // Phase B: servers. Gather each server's arrivals from every shard,
+    // sort into the canonical (arrival, client) order, run the
+    // batching / cache / KoD pipeline. KoD interval writes are disjoint
+    // by home server.
+    pool.parallel_for(0, servers, [&](std::size_t s) {
+      std::vector<ArrivalRecord>& batch = gather[s];
+      batch.clear();
+      for (std::size_t sh = 0; sh < shards; ++sh) {
+        batch.insert(batch.end(), arrivals[sh][s].begin(),
+                     arrivals[sh][s].end());
+        arrivals[sh][s].clear();
+      }
+      std::sort(batch.begin(), batch.end(),
+                [](const ArrivalRecord& a, const ArrivalRecord& b) {
+                  return a.arrive_ns != b.arrive_ns
+                             ? a.arrive_ns < b.arrive_ns
+                             : a.client < b.client;
+                });
+      server_fleet.process_slice(s, batch, fleet, interval, owd);
+    });
+  }
+
+  FleetResult result;
+  result.clients = fleet.size();
+  result.sntp_clients = fleet.sntp_clients();
+  result.ntp_clients = fleet.ntp_clients();
+  result.wireless_clients = fleet.wireless_clients();
+  result.wired_clients = fleet.wired_clients();
+  for (std::size_t sh = 0; sh < shards; ++sh) {
+    result.queries += shard_queries[sh];
+    result.dropped += shard_dropped[sh];
+  }
+  result.server_requests.resize(servers);
+  for (std::size_t s = 0; s < servers; ++s) {
+    const ServerTotals& t = server_fleet.totals(s);
+    result.server_requests[s] = t.requests;
+    result.arrived += t.requests;
+    result.kod += t.kod;
+    result.batches += t.batches;
+    result.cache_hits += t.cache_hits;
+    result.cache_misses += t.cache_misses;
+  }
+  result.owd = owd.merged();
+
+  result.threads = threads == 0 ? 1 : threads;
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (result.wall_s > 0.0) {
+    result.qps = static_cast<double>(result.queries) / result.wall_s;
+    result.qps_per_core = result.qps / static_cast<double>(result.threads);
+  }
+  return result;
+}
+
+}  // namespace mntp::fleet

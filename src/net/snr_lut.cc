@@ -1,0 +1,40 @@
+#include "net/snr_lut.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace mntp::net {
+
+SnrFailureLut SnrFailureLut::build(double snr50_db, double snr_slope_db) {
+  constexpr int kHalfSpanSlopes = 20;
+  constexpr int kStepsPerSlope = 36;
+  SnrFailureLut lut;
+  lut.snr50_db_ = snr50_db;
+  lut.slope_db_ = snr_slope_db;
+  const double step_db = snr_slope_db / kStepsPerSlope;
+  const int n = 2 * kHalfSpanSlopes * kStepsPerSlope + 1;
+  lut.lo_db_ = snr50_db - kHalfSpanSlopes * snr_slope_db;
+  lut.inv_step_ = 1.0 / step_db;
+  lut.table_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double snr_db = lut.lo_db_ + i * step_db;
+    lut.table_[static_cast<std::size_t>(i)] =
+        1.0 / (1.0 + std::exp((snr_db - snr50_db) / snr_slope_db));
+  }
+  return lut;
+}
+
+double SnrFailureLut::operator()(double snr_db) const {
+  if (table_.empty()) {
+    return 1.0 / (1.0 + std::exp((snr_db - snr50_db_) / slope_db_));
+  }
+  const double x = (snr_db - lo_db_) * inv_step_;
+  if (x <= 0.0) return table_.front();
+  const double max_x = static_cast<double>(table_.size() - 1);
+  if (x >= max_x) return table_.back();
+  const std::size_t i = static_cast<std::size_t>(x);
+  const double frac = x - static_cast<double>(i);
+  return table_[i] + frac * (table_[i + 1] - table_[i]);
+}
+
+}  // namespace mntp::net

@@ -1,0 +1,47 @@
+// Precomputed SNR -> attempt-failure-probability lookup table.
+//
+// The per-attempt failure model is a logistic in the SNR margin
+// (1 / (1 + e^{(snr - snr50)/slope})). Evaluating the exp per MAC
+// attempt is affordable for one client; it is the hot multiply of a
+// fleet simulating millions of queries. SnrFailureLut tabulates the
+// logistic once on a uniform grid and answers lookups with one linear
+// interpolation — the table WirelessChannel builds under its opt-in
+// `use_snr_lut` flag, extracted here so the fleet layer's batched
+// channel sampling shares the exact same numerics (and the same
+// interpolation-error bound, pinned by net_wireless_channel_test).
+#pragma once
+
+#include <vector>
+
+namespace mntp::net {
+
+class SnrFailureLut {
+ public:
+  /// Empty table; operator() falls back to the exact logistic.
+  SnrFailureLut() = default;
+
+  /// Tabulate the logistic failure curve for the given midpoint/slope.
+  // Grid sized for a guaranteed interpolation error bound: linear
+  // interpolation of f on step h errs at most h^2 max|f''| / 8, and the
+  // logistic in dB has max|f''| = 1/(6 sqrt(3) slope^2) ≈ 0.0962/slope^2.
+  // h = slope/36 gives error <= 0.0962 (1/36)^2 / 8 < 9.3e-6, so the
+  // bound is <= 1e-5 for every slope. Span ±20 slopes: beyond it the
+  // clamped endpoint value is within 1/(1+e^20) ≈ 2.1e-9 of exact.
+  [[nodiscard]] static SnrFailureLut build(double snr50_db,
+                                           double snr_slope_db);
+
+  /// Failure probability of one attempt at the given SNR: interpolated
+  /// from the table when built, the exact logistic otherwise.
+  [[nodiscard]] double operator()(double snr_db) const;
+
+  [[nodiscard]] bool empty() const { return table_.empty(); }
+
+ private:
+  std::vector<double> table_;
+  double snr50_db_ = 0.0;
+  double slope_db_ = 1.0;
+  double lo_db_ = 0.0;        // SNR at table index 0
+  double inv_step_ = 0.0;     // indices per dB
+};
+
+}  // namespace mntp::net

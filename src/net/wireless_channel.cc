@@ -22,7 +22,9 @@ WirelessChannel::WirelessChannel(WirelessChannelParams params, core::Rng rng)
   if (params_.snr_slope_db <= 0.0) {
     throw std::invalid_argument("WirelessChannel: snr_slope_db must be > 0");
   }
-  if (params_.use_snr_lut) build_snr_lut();
+  if (params_.use_snr_lut) {
+    snr_lut_ = SnrFailureLut::build(params_.snr50_db, params_.snr_slope_db);
+  }
   obs::MetricsRegistry& m = telemetry_->metrics();
   for (int d = 0; d < 2; ++d) {
     const obs::Labels dir{{"dir", d == 0 ? "up" : "down"}};
@@ -137,38 +139,8 @@ WirelessHints WirelessChannel::observe_hints(core::TimePoint now) {
   };
 }
 
-void WirelessChannel::build_snr_lut() {
-  // Grid sized for a guaranteed interpolation error bound: linear
-  // interpolation of f on step h errs at most h^2 max|f''| / 8, and the
-  // logistic in dB has max|f''| = 1/(6 sqrt(3) slope^2) ≈ 0.0962/slope^2.
-  // h = slope/36 gives error <= 0.0962 (1/36)^2 / 8 < 9.3e-6, so the
-  // bound is <= 1e-5 for every slope. Span ±20 slopes: beyond it the
-  // clamped endpoint value is within 1/(1+e^20) ≈ 2.1e-9 of exact.
-  constexpr int kHalfSpanSlopes = 20;
-  constexpr int kStepsPerSlope = 36;
-  const double step_db = params_.snr_slope_db / kStepsPerSlope;
-  const int n = 2 * kHalfSpanSlopes * kStepsPerSlope + 1;
-  snr_lut_lo_db_ = params_.snr50_db - kHalfSpanSlopes * params_.snr_slope_db;
-  snr_lut_inv_step_ = 1.0 / step_db;
-  snr_lut_.resize(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const double snr_db = snr_lut_lo_db_ + i * step_db;
-    snr_lut_[static_cast<std::size_t>(i)] =
-        1.0 /
-        (1.0 + std::exp((snr_db - params_.snr50_db) / params_.snr_slope_db));
-  }
-}
-
 double WirelessChannel::snr_failure_probability(double snr_db) const {
-  if (!snr_lut_.empty()) {
-    const double x = (snr_db - snr_lut_lo_db_) * snr_lut_inv_step_;
-    if (x <= 0.0) return snr_lut_.front();
-    const double max_x = static_cast<double>(snr_lut_.size() - 1);
-    if (x >= max_x) return snr_lut_.back();
-    const std::size_t i = static_cast<std::size_t>(x);
-    const double frac = x - static_cast<double>(i);
-    return snr_lut_[i] + frac * (snr_lut_[i + 1] - snr_lut_[i]);
-  }
+  if (!snr_lut_.empty()) return snr_lut_(snr_db);
   // Logistic in SNR margin: ~0 above snr50 + a few slopes, ~1 well below.
   return 1.0 /
          (1.0 + std::exp((snr_db - params_.snr50_db) / params_.snr_slope_db));

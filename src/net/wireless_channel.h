@@ -28,6 +28,7 @@
 #include "core/units.h"
 #include "net/hints.h"
 #include "net/link.h"
+#include "net/snr_lut.h"
 #include "obs/telemetry.h"
 
 namespace mntp::net {
@@ -172,7 +173,6 @@ class WirelessChannel {
 
   void advance_to(core::TimePoint t);
   [[nodiscard]] double attempt_failure_probability(core::Decibels snr) const;
-  void build_snr_lut();
 
   Endpoint uplink_endpoint_{*this, true};
   Endpoint downlink_endpoint_{*this, false};
@@ -187,12 +187,11 @@ class WirelessChannel {
   double shadow_db_ = 0.0;
   double noise_wander_db_ = 0.0;
 
-  // SNR-failure lookup table (built only when params_.use_snr_lut):
-  // uniform grid over snr50 ± 20 slopes; outside that span the logistic
-  // is within 2.1e-9 of its asymptote, so lookups clamp to the ends.
-  std::vector<double> snr_lut_;
-  double snr_lut_lo_db_ = 0.0;    // SNR at table index 0
-  double snr_lut_inv_step_ = 0.0; // indices per dB
+  // SNR-failure lookup table (built only when params_.use_snr_lut; see
+  // net/snr_lut.h — the fleet layer shares the same table type): uniform
+  // grid over snr50 ± 20 slopes; outside that span the logistic is
+  // within 2.1e-9 of its asymptote, so lookups clamp to the ends.
+  SnrFailureLut snr_lut_;
 
   // Telemetry handles (per direction: [0]=up, [1]=down), bound at
   // construction to the then-current global obs context.

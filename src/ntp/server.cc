@@ -25,6 +25,18 @@ core::Result<NtpServer::Reply> NtpServer::handle(
   }
 
   ++served_;
+  bool kod = params_.kiss_of_death;
+  if (!kod && params_.rate_limit_per_window > 0) {
+    const std::int64_t window = arrival.ns() / params_.rate_limit_window.ns();
+    if (window != rate_window_) {
+      rate_window_ = window;
+      window_served_ = 0;
+    }
+    if (++window_served_ > params_.rate_limit_per_window) {
+      kod = true;
+      ++kod_sent_;
+    }
+  }
   const core::Duration processing = core::Duration::from_seconds(
       rng_.exponential(params_.processing_mean.to_seconds()));
   const core::TimePoint departs = arrival + processing;
@@ -33,7 +45,7 @@ core::Result<NtpServer::Reply> NtpServer::handle(
   reply.leap = LeapIndicator::kNoWarning;
   reply.version = req.version;
   reply.mode = Mode::kServer;
-  if (params_.kiss_of_death) {
+  if (kod) {
     reply.stratum = 0;
     reply.reference_id = kiss_code("RATE");
   } else {

@@ -36,7 +36,28 @@ struct NtpServerParams {
   /// When true the server answers every request with a RATE kiss-of-death
   /// (used in robustness tests).
   bool kiss_of_death = false;
+  /// Budgeted rate limiting: when > 0, at most this many requests per
+  /// window receive time; the overflow gets a RATE kiss-of-death.
+  /// (`kiss_of_death = true` is the degenerate zero-budget server.)
+  std::uint32_t rate_limit_per_window = 0;
+  core::Duration rate_limit_window = core::Duration::seconds(1);
 };
+
+/// RFC 5905 kiss-of-death discipline, client side: on a RATE KoD the
+/// poll interval backs off multiplicatively up to a cap. Shared by the
+/// single-server model below and the fleet-scale rate limiter
+/// (`fleet::ServerFleet`) so both model the same client reaction.
+[[nodiscard]] constexpr std::uint64_t kod_backoff_interval_ns(
+    std::uint64_t current_interval_ns, double backoff_factor,
+    std::uint64_t cap_ns) {
+  const double backed =
+      static_cast<double>(current_interval_ns) * backoff_factor;
+  // The cap bounds the degenerate factors (<= 0, NaN) too.
+  if (!(backed > 0.0) || backed >= static_cast<double>(cap_ns)) {
+    return cap_ns;
+  }
+  return static_cast<std::uint64_t>(backed);
+}
 
 class NtpServer {
  public:
@@ -62,6 +83,9 @@ class NtpServer {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const NtpServerParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  /// Requests answered with a RATE kiss-of-death by the budgeted rate
+  /// limiter (excludes the always-KoD `kiss_of_death` mode).
+  [[nodiscard]] std::uint64_t kod_sent() const { return kod_sent_; }
 
   /// Step this server's clock by `delta_s` (operator action: leap-second
   /// insertion steps every UTC-tracking server by -1 s simultaneously;
@@ -77,6 +101,9 @@ class NtpServer {
   NtpServerParams params_;
   core::Rng rng_;
   std::uint64_t served_ = 0;
+  std::uint64_t kod_sent_ = 0;
+  std::int64_t rate_window_ = -1;
+  std::uint32_t window_served_ = 0;
 };
 
 }  // namespace mntp::ntp

@@ -22,6 +22,7 @@ inline constexpr const char kNet[] = "net";
 inline constexpr const char kNtp[] = "ntp";
 inline constexpr const char kMntp[] = "mntp";
 inline constexpr const char kTuner[] = "tuner";
+inline constexpr const char kFleet[] = "fleet";
 }  // namespace categories
 
 /// Metric (counter/gauge/histogram) names.
@@ -69,6 +70,24 @@ inline constexpr const char kMntpClientClockSteps[] =
 
 // tuner
 inline constexpr const char kTunerConfigsScored[] = "tuner.configs_scored";
+
+// fleet: the SoA client-population simulator (src/fleet/). Counters are
+// ShardedCounters bumped from worker threads; the OWD families are
+// ShardedHdrHistograms labelled by (speaker, population) and by provider
+// category respectively — the aggregates behind the §3.1-style tables
+// fleet_qps prints and the mntp_fleet_report artifact embeds.
+inline constexpr const char kFleetClientQueries[] = "fleet.client.queries";
+inline constexpr const char kFleetClientDropped[] = "fleet.client.dropped";
+inline constexpr const char kFleetServerRequests[] = "fleet.server.requests";
+inline constexpr const char kFleetServerKod[] = "fleet.server.kod";
+inline constexpr const char kFleetServerBatches[] = "fleet.server.batches";
+inline constexpr const char kFleetServerCacheHits[] =
+    "fleet.server.cache_hits";
+inline constexpr const char kFleetServerCacheMisses[] =
+    "fleet.server.cache_misses";
+inline constexpr const char kFleetOwdInvalid[] = "fleet.owd.invalid";
+inline constexpr const char kFleetOwdMs[] = "fleet.owd_ms";
+inline constexpr const char kFleetCategoryOwdMs[] = "fleet.category_owd_ms";
 
 // obs: the observability layer metering itself. The query-trace family
 // reconciles the exported trace artifact against what was minted

@@ -1,0 +1,262 @@
+// Fleet layer unit tests: SmallRng stream contract, the shared SNR LUT
+// error bound, population build calibration, and the simulator's
+// conservation / mechanism invariants.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "fleet/client_fleet.h"
+#include "fleet/params.h"
+#include "fleet/report.h"
+#include "fleet/simulator.h"
+#include "net/snr_lut.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace mntp {
+namespace {
+
+TEST(SmallRng, DrawKIsDeriveStreamSeedOfK) {
+  core::SmallRng rng(0xDEADBEEFULL);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(rng.next_u64(), core::derive_stream_seed(0xDEADBEEFULL, k));
+  }
+}
+
+TEST(SmallRng, CanonicalIsInUnitInterval) {
+  core::SmallRng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.canonical();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SmallRng, NormalMomentsMatch) {
+  core::SmallRng rng(11);
+  constexpr int kN = 200'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(SmallRng, ParetoRespectsScaleAndTailClamp) {
+  core::SmallRng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.pareto(1.0, 4.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, std::pow(2.0, 53.0 / 4.0));
+  }
+}
+
+TEST(SnrFailureLut, InterpolationErrorWithinBound) {
+  const double snr50 = 8.0;
+  const double slope = 2.2;
+  const net::SnrFailureLut lut = net::SnrFailureLut::build(snr50, slope);
+  ASSERT_FALSE(lut.empty());
+  for (double snr = snr50 - 19.0 * slope; snr <= snr50 + 19.0 * slope;
+       snr += 0.013) {
+    const double exact = 1.0 / (1.0 + std::exp((snr - snr50) / slope));
+    EXPECT_NEAR(lut(snr), exact, 1e-5) << "snr=" << snr;
+  }
+}
+
+TEST(SnrFailureLut, EmptyTableFallsBackToExactLogistic) {
+  const net::SnrFailureLut empty;
+  EXPECT_TRUE(empty.empty());
+  // Default-constructed midpoint/slope (0, 1).
+  EXPECT_NEAR(empty(0.0), 0.5, 1e-12);
+}
+
+fleet::FleetParams small_params() {
+  fleet::FleetParams p;
+  p.clients = 20'000;
+  p.duration_s = 30.0;
+  p.shards = 8;
+  p.seed = 42;
+  return p;
+}
+
+TEST(ClientFleet, BuildMatchesPopulationTargets) {
+  const fleet::FleetParams p = small_params();
+  const fleet::ClientFleet fleet = fleet::ClientFleet::build(p);
+  ASSERT_EQ(fleet.size(), p.clients);
+  EXPECT_EQ(fleet.sntp_clients() + fleet.ntp_clients(), p.clients);
+  EXPECT_EQ(fleet.wireless_clients() + fleet.wired_clients(), p.clients);
+  // Most of the paper population speaks SNTP; both classes are present.
+  EXPECT_GT(fleet.sntp_clients(), p.clients / 2);
+  EXPECT_GT(fleet.ntp_clients(), 0U);
+  EXPECT_GT(fleet.wireless_clients(), 0U);
+  // Mobile-provider clients are always wireless.
+  for (std::uint64_t i = 0; i < fleet.size(); ++i) {
+    if (fleet.category(i) == logs::ProviderCategory::kMobile) {
+      EXPECT_EQ(fleet.population(i), fleet::Population::kWireless);
+    }
+    EXPECT_GE(fleet.base_owd_ms()[i], 1.0F);
+    EXPECT_LE(fleet.base_owd_ms()[i], 997.0F);
+    EXPECT_LT(fleet.init_next_poll_ns()[i], fleet.init_interval_ns()[i]);
+  }
+}
+
+TEST(ClientFleet, BuildIsDeterministic) {
+  const fleet::FleetParams p = small_params();
+  const fleet::ClientFleet a = fleet::ClientFleet::build(p);
+  const fleet::ClientFleet b = fleet::ClientFleet::build(p);
+  EXPECT_EQ(a.traits(), b.traits());
+  EXPECT_EQ(a.server(), b.server());
+  EXPECT_EQ(a.base_owd_ms(), b.base_owd_ms());
+  EXPECT_EQ(a.init_next_poll_ns(), b.init_next_poll_ns());
+}
+
+TEST(Simulator, ConservationInvariantsHold) {
+  obs::Telemetry tel;
+  obs::ScopedTelemetry scope(tel);
+  const fleet::FleetParams p = small_params();
+  fleet::Simulator sim(
+      std::make_shared<const fleet::ClientFleet>(fleet::ClientFleet::build(p)),
+      p);
+  const fleet::FleetResult r = sim.run(2);
+  EXPECT_GT(r.queries, 0U);
+  EXPECT_EQ(r.queries, r.arrived + r.dropped);
+  std::uint64_t server_sum = 0;
+  for (const std::uint64_t s : r.server_requests) server_sum += s;
+  EXPECT_EQ(server_sum, r.arrived);
+  EXPECT_EQ(r.cache_hits + r.cache_misses, r.arrived - r.kod);
+  EXPECT_EQ(r.owd.valid + r.owd.invalid, r.arrived - r.kod);
+  // Unsynchronized clients (6% of the population) produce out-of-window
+  // measurements.
+  EXPECT_GT(r.owd.invalid, 0U);
+  // The histograms tally exactly the valid measurements.
+  std::uint64_t class_count = 0;
+  for (const auto& row : r.owd.by_class) {
+    for (const auto& h : row) class_count += h.count();
+  }
+  std::uint64_t cat_count = 0;
+  for (const auto& h : r.owd.by_category) cat_count += h.count();
+  EXPECT_EQ(class_count, r.owd.valid);
+  EXPECT_EQ(cat_count, r.owd.valid);
+}
+
+TEST(Simulator, RepeatedRunsAreIdentical) {
+  obs::Telemetry tel;
+  obs::ScopedTelemetry scope(tel);
+  const fleet::FleetParams p = small_params();
+  fleet::Simulator sim(
+      std::make_shared<const fleet::ClientFleet>(fleet::ClientFleet::build(p)),
+      p);
+  const fleet::FleetResult a = sim.run(1);
+  const fleet::FleetResult b = sim.run(1);
+  EXPECT_TRUE(a.deterministic_equal(b));
+}
+
+TEST(Simulator, KodRateLimitTriggersAndBacksClientsOff) {
+  obs::Telemetry tel;
+  obs::ScopedTelemetry scope(tel);
+  fleet::FleetParams p = small_params();
+  p.kod_limit_per_slice = 10;  // tiny: nearly every server saturates
+  // KoD backoff takes effect one poll late (the next poll is scheduled
+  // at send time, before the KoD response lands), so give it room to
+  // show up in the totals.
+  p.duration_s = 150.0;
+  fleet::Simulator sim(
+      std::make_shared<const fleet::ClientFleet>(fleet::ClientFleet::build(p)),
+      p);
+  const fleet::FleetResult r = sim.run(1);
+  EXPECT_GT(r.kod, 0U);
+  EXPECT_EQ(r.cache_hits + r.cache_misses, r.arrived - r.kod);
+
+  // Backoff reduces the query rate versus an unlimited run.
+  fleet::FleetParams open = small_params();
+  open.duration_s = 150.0;
+  open.kod_limit_per_slice = 1'000'000;
+  fleet::Simulator open_sim(std::make_shared<const fleet::ClientFleet>(
+                                fleet::ClientFleet::build(open)),
+                            open);
+  const fleet::FleetResult r_open = open_sim.run(1);
+  EXPECT_EQ(r_open.kod, 0U);
+  EXPECT_LT(r.queries, r_open.queries);
+}
+
+TEST(Simulator, ResponseCacheHitRateTracksBucketSize) {
+  obs::Telemetry tel;
+  obs::ScopedTelemetry scope(tel);
+  fleet::FleetParams coarse = small_params();
+  coarse.cache_bucket_ms = 10'000.0;  // slices-long buckets: mostly hits
+  fleet::Simulator coarse_sim(std::make_shared<const fleet::ClientFleet>(
+                                  fleet::ClientFleet::build(coarse)),
+                              coarse);
+  const fleet::FleetResult r_coarse = coarse_sim.run(1);
+  EXPECT_GT(r_coarse.cache_hits, r_coarse.cache_misses);
+
+  fleet::FleetParams fine = small_params();
+  fine.cache_bucket_ms = 0.001;  // microsecond buckets: mostly misses
+  fleet::Simulator fine_sim(std::make_shared<const fleet::ClientFleet>(
+                                fleet::ClientFleet::build(fine)),
+                            fine);
+  const fleet::FleetResult r_fine = fine_sim.run(1);
+  EXPECT_GT(r_fine.cache_misses, r_fine.cache_hits);
+}
+
+TEST(Simulator, RejectsSliceLongerThanMinPoll) {
+  fleet::FleetParams p = small_params();
+  p.slice_s = 20.0;  // >= sntp_poll_min_s
+  const auto fleet =
+      std::make_shared<const fleet::ClientFleet>(fleet::ClientFleet::build(p));
+  EXPECT_THROW(fleet::Simulator(fleet, p), std::invalid_argument);
+}
+
+TEST(FleetReport, RendersAndRoundTripsKeyFields) {
+  obs::Telemetry tel;
+  obs::ScopedTelemetry scope(tel);
+  const fleet::FleetParams p = small_params();
+  fleet::Simulator sim(
+      std::make_shared<const fleet::ClientFleet>(fleet::ClientFleet::build(p)),
+      p);
+  const fleet::FleetResult r = sim.run(1);
+  const std::string doc = fleet::render_fleet_report(p, r);
+  EXPECT_NE(doc.find("\"kind\": \"mntp_fleet_report\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"qps_per_core\""), std::string::npos);
+  EXPECT_NE(doc.find("\"category\": \"mobile\""), std::string::npos);
+  EXPECT_NE(doc.find("\"speaker\": \"sntp\""), std::string::npos);
+  EXPECT_NE(doc.find("\"id\": \"MW2\""), std::string::npos);
+}
+
+TEST(FleetMetrics, RegistryCountersMatchResultTotals) {
+  obs::Telemetry tel;
+  obs::ScopedTelemetry scope(tel);
+  const fleet::FleetParams p = small_params();
+  fleet::Simulator sim(
+      std::make_shared<const fleet::ClientFleet>(fleet::ClientFleet::build(p)),
+      p);
+  const fleet::FleetResult r = sim.run(2);
+  std::uint64_t queries = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t invalid = 0;
+  for (const obs::MetricSnapshot& m : tel.metrics().snapshot()) {
+    if (m.kind != obs::MetricSnapshot::Kind::kCounter) continue;
+    const auto v = static_cast<std::uint64_t>(m.value);
+    if (m.name == "fleet.client.queries") queries += v;
+    if (m.name == "fleet.server.requests") requests += v;
+    if (m.name == "fleet.owd.invalid") invalid += v;
+  }
+  EXPECT_EQ(queries, r.queries);
+  EXPECT_EQ(requests, r.arrived);
+  EXPECT_EQ(invalid, r.owd.invalid);
+}
+
+}  // namespace
+}  // namespace mntp

@@ -90,6 +90,40 @@ TEST(NtpServer, KissOfDeathReply) {
   EXPECT_EQ(reply.value().packet.reference_id, kiss_code("RATE"));
 }
 
+TEST(NtpServer, BudgetedRateLimitKodsOverflowAndResetsPerWindow) {
+  NtpServerParams params = perfect_server();
+  params.rate_limit_per_window = 2;
+  params.rate_limit_window = Duration::seconds(1);
+  NtpServer server("budget", params, Rng(10));
+  // First two requests in the window get time; the third gets RATE.
+  for (int i = 0; i < 2; ++i) {
+    const auto reply = server.handle(request_at(0.0), at_s(0.1 * (i + 1)));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_FALSE(reply.value().packet.is_kiss_of_death());
+  }
+  const auto over = server.handle(request_at(0.0), at_s(0.3));
+  ASSERT_TRUE(over.ok());
+  EXPECT_TRUE(over.value().packet.is_kiss_of_death());
+  EXPECT_EQ(over.value().packet.reference_id, kiss_code("RATE"));
+  EXPECT_EQ(server.kod_sent(), 1u);
+  // A new window replenishes the budget.
+  const auto fresh = server.handle(request_at(0.0), at_s(1.1));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().packet.is_kiss_of_death());
+  EXPECT_EQ(server.kod_sent(), 1u);
+  EXPECT_EQ(server.requests_served(), 4u);
+}
+
+TEST(NtpServer, KodBackoffIntervalMultipliesThenCaps) {
+  constexpr std::uint64_t kCap = 1'000'000'000ull;  // 1 s
+  EXPECT_EQ(kod_backoff_interval_ns(100, 4.0, kCap), 400u);
+  EXPECT_EQ(kod_backoff_interval_ns(300'000'000ull, 4.0, kCap), kCap);
+  EXPECT_EQ(kod_backoff_interval_ns(kCap, 4.0, kCap), kCap);
+  // Degenerate factors fall back to the cap instead of shrinking.
+  EXPECT_EQ(kod_backoff_interval_ns(100, 0.0, kCap), kCap);
+  EXPECT_EQ(kod_backoff_interval_ns(100, -1.0, kCap), kCap);
+}
+
 TEST(NtpServer, AdvertisesRootDelayAndDispersion) {
   NtpServerParams params = perfect_server();
   params.root_delay = Duration::milliseconds(12);
